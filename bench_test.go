@@ -1,0 +1,134 @@
+// Package dassa's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper's evaluation section, each delegating to the
+// corresponding experiment runner in internal/bench. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The printed experiment tables go to the bench's working directory output;
+// the benchmark numbers measure the end-to-end cost of regenerating each
+// artifact at laptop scale.
+package dassa
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"dassa/internal/bench"
+)
+
+// benchOptions returns a small but non-trivial configuration with output
+// suppressed (the tables are printed by the das_bench command; here only
+// timing matters).
+func benchOptions(b *testing.B) bench.Options {
+	b.Helper()
+	o := bench.Defaults()
+	o.DataDir = filepath.Join(b.TempDir(), "data")
+	o.Channels = 48
+	o.Files = 12
+	o.SampleRate = 50
+	o.FileSeconds = 2
+	o.Ranks = 4
+	o.Nodes = 4
+	o.CoresPerNode = 4
+	o.Out = io.Discard
+	return o
+}
+
+func BenchmarkTable1RCAvsVCA(b *testing.B) {
+	o := benchOptions(b)
+	if _, err := bench.EnsureDataset(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2DasLibSemantics(b *testing.B) {
+	o := benchOptions(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6SearchMerge(b *testing.B) {
+	o := benchOptions(b)
+	if _, err := bench.EnsureDataset(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ReadMethods(b *testing.B) {
+	o := benchOptions(b)
+	if _, err := bench.EnsureDataset(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig7(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8HybridVsMPI(b *testing.B) {
+	o := benchOptions(b)
+	if _, err := bench.EnsureDataset(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig8(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9VsMatlab(b *testing.B) {
+	o := benchOptions(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig9(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10LocalSimilarity(b *testing.B) {
+	o := benchOptions(b)
+	if _, err := bench.EnsureDataset(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig10(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Scaling(b *testing.B) {
+	o := benchOptions(b)
+	if _, err := bench.EnsureDataset(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig11(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

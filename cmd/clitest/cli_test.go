@@ -1,0 +1,148 @@
+// Package clitest drives the command-line tools end to end: it builds the
+// real binaries and runs the workflow a user would (generate → info →
+// search/merge → analyze → bench), asserting on their output.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles all binaries into a shared temp dir.
+var (
+	buildMu  sync.Mutex
+	binDir   string
+	buildErr error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if binDir != "" || buildErr != nil {
+		if buildErr != nil {
+			t.Fatal(buildErr)
+		}
+		return binDir
+	}
+	dir, err := os.MkdirTemp("", "dassa-bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+		"dassa/cmd/das_gen", "dassa/cmd/das_search", "dassa/cmd/das_info",
+		"dassa/cmd/das_analyze", "dassa/cmd/das_bench")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		buildErr = err
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	binDir = dir
+	return binDir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/clitest → repo root
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	data := t.TempDir()
+
+	// Generate a small acquisition.
+	out := run(t, "das_gen", "-dir", data, "-channels", "16", "-rate", "50",
+		"-seconds", "2", "-files", "6", "-events", "fig10")
+	if !strings.Contains(out, "wrote 6 files") {
+		t.Fatalf("das_gen output: %s", out)
+	}
+
+	// Inspect one file.
+	files, err := filepath.Glob(filepath.Join(data, "*.dasf"))
+	if err != nil || len(files) != 6 {
+		t.Fatalf("generated files: %v %v", files, err)
+	}
+	out = run(t, "das_info", files[0])
+	for _, want := range []string{"kind: data", "16 channels", "SamplingFrequency(HZ) : 50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("das_info missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Search + merge into a VCA.
+	vca := filepath.Join(t.TempDir(), "merged.dasf")
+	out = run(t, "das_search", "-dir", data, "-s", "170620100545", "-c", "4", "-vca", vca)
+	if !strings.Contains(out, "4 match") || !strings.Contains(out, "created VCA") {
+		t.Fatalf("das_search output: %s", out)
+	}
+	// Second search hits the index cache (0 header reads).
+	out = run(t, "das_search", "-dir", data)
+	if !strings.Contains(out, "(0 header reads") {
+		t.Errorf("warm search should use the index: %s", out)
+	}
+
+	out = run(t, "das_info", vca)
+	if !strings.Contains(out, "kind: vca") || !strings.Contains(out, "members (4)") {
+		t.Errorf("das_info on VCA:\n%s", out)
+	}
+
+	// Analyze: local similarity over the VCA.
+	simOut := filepath.Join(t.TempDir(), "sim.dasf")
+	out = run(t, "das_analyze", "-in", vca, "-op", "localsimi",
+		"-nodes", "2", "-cores", "2", "-M", "10", "-stride", "5", "-out", simOut)
+	if !strings.Contains(out, "detected") || !strings.Contains(out, "phases:") {
+		t.Fatalf("das_analyze output: %s", out)
+	}
+	if _, err := os.Stat(simOut); err != nil {
+		t.Errorf("similarity map not written: %v", err)
+	}
+
+	// Analyze: interferometry in pure-MPI mode.
+	out = run(t, "das_analyze", "-in", vca, "-op", "interferometry",
+		"-mode", "mpi", "-nodes", "1", "-cores", "2", "-maxlag", "20")
+	if !strings.Contains(out, "noise correlations") {
+		t.Fatalf("interferometry output: %s", out)
+	}
+
+	// Analyze: windowed+stacked interferometry.
+	out = run(t, "das_analyze", "-in", vca, "-op", "stacked",
+		"-nodes", "1", "-cores", "2", "-maxlag", "15", "-window", "100")
+	if !strings.Contains(out, "stacked noise correlations") || !strings.Contains(out, "windows") {
+		t.Fatalf("stacked output: %s", out)
+	}
+
+	// Analyze: the STA/LTA baseline trigger.
+	out = run(t, "das_analyze", "-in", vca, "-op", "stalta", "-nodes", "1", "-cores", "2")
+	if !strings.Contains(out, "STA/LTA map") || !strings.Contains(out, "max ratio") {
+		t.Fatalf("stalta output: %s", out)
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	out := run(t, "das_bench", "-exp", "table1", "-dir", dir,
+		"-channels", "16", "-files", "4", "-rate", "50", "-seconds", "1")
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "VCA") {
+		t.Fatalf("das_bench output: %s", out)
+	}
+}

@@ -1,0 +1,81 @@
+// Command das_bench regenerates the DASSA paper's evaluation tables and
+// figures (§VI) at laptop scale. Each experiment runs the real storage and
+// analysis code, prints measured wall times and operation counts, and
+// projects the operation traces onto a Cori-like hardware model so the
+// paper-scale shapes are visible. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Examples:
+//
+//	das_bench                      # run everything
+//	das_bench -exp fig7            # just the Figure 7 read comparison
+//	das_bench -channels 256 -files 48 -exp fig8
+package main
+
+import (
+	"flag"
+	"log"
+
+	"dassa/internal/bench"
+	"dassa/internal/pfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("das_bench: ")
+	o := bench.Defaults()
+	var (
+		exp   = flag.String("exp", "all", "experiment: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | ablation | detectors")
+		model = flag.String("model", "cori", "hardware model for projections: cori | burstbuffer")
+	)
+	flag.StringVar(&o.DataDir, "dir", o.DataDir, "working directory for the generated dataset")
+	flag.IntVar(&o.Channels, "channels", o.Channels, "synthetic fiber channels")
+	flag.IntVar(&o.Files, "files", o.Files, "synthetic file count")
+	flag.Float64Var(&o.SampleRate, "rate", o.SampleRate, "sampling rate (Hz)")
+	flag.Float64Var(&o.FileSeconds, "seconds", o.FileSeconds, "seconds per file")
+	flag.Int64Var(&o.Seed, "seed", o.Seed, "random seed")
+	flag.IntVar(&o.Ranks, "ranks", o.Ranks, "processes for read experiments")
+	flag.IntVar(&o.Nodes, "nodes", o.Nodes, "max node count for sweeps")
+	flag.IntVar(&o.CoresPerNode, "cores", o.CoresPerNode, "cores per node")
+	flag.Parse()
+
+	switch *model {
+	case "cori":
+		o.Model = pfs.CoriLike()
+	case "burstbuffer":
+		o.Model = pfs.BurstBufferLike()
+	default:
+		log.Fatalf("unknown -model %q", *model)
+	}
+
+	var err error
+	switch *exp {
+	case "all":
+		err = bench.RunAll(o)
+	case "table1":
+		_, err = bench.RunTable1(o)
+	case "table2":
+		_, err = bench.RunTable2(o)
+	case "fig6":
+		_, err = bench.RunFig6(o)
+	case "fig7":
+		_, err = bench.RunFig7(o)
+	case "fig8":
+		_, err = bench.RunFig8(o)
+	case "fig9":
+		_, err = bench.RunFig9(o)
+	case "fig10":
+		_, err = bench.RunFig10(o)
+	case "fig11":
+		_, err = bench.RunFig11(o)
+	case "ablation":
+		_, err = bench.RunAblations(o)
+	case "detectors":
+		_, err = bench.RunDetectors(o)
+	default:
+		log.Fatalf("unknown -exp %q", *exp)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command das_info prints a DASF file's metadata: kind, shape, dtype, the
+// global key-value list (the paper's Figure 4 structure), members for
+// virtual files, and optionally the per-channel metadata.
+//
+//	das_info westSac_170620100545.dasf
+//	das_info -channels merged.vca.dasf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"dassa/internal/dasf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("das_info: ")
+	channels := flag.Bool("channels", false, "also print per-channel metadata")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: das_info [-channels] <file.dasf>...")
+	}
+	for _, path := range flag.Args() {
+		r, err := dasf.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := r.Info()
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  kind: %s, shape: %d channels × %d samples, dtype: %s\n",
+			info.Kind, info.NumChannels, info.NumSamples, info.DType)
+		keys := make([]string, 0, len(info.Global))
+		for k := range info.Global {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s : %s\n", k, info.Global[k])
+		}
+		if info.Kind == dasf.KindVCA {
+			fmt.Printf("  members (%d):\n", len(info.Members))
+			for _, m := range info.Members {
+				fmt.Printf("    %012d  %d×%d  %s\n", m.Timestamp, m.NumChannels, m.NumSamples, m.Name)
+			}
+		}
+		if *channels {
+			pcm, err := r.PerChannelMeta()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pcm == nil {
+				fmt.Println("  (no per-channel metadata)")
+			}
+			for c, m := range pcm {
+				fmt.Printf("  channel %d:\n", c)
+				ks := make([]string, 0, len(m))
+				for k := range m {
+					ks = append(ks, k)
+				}
+				sort.Strings(ks)
+				for _, k := range ks {
+					fmt.Printf("    %s : %s\n", k, m[k])
+				}
+			}
+		}
+		r.Close()
+	}
+}

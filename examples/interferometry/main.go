@@ -1,0 +1,127 @@
+// Traffic-noise interferometry (the paper's Algorithm 3): turn ambient
+// noise recorded on a fiber into empirical Green's functions by
+// cross-correlating every channel against a master channel after
+// detrending, zero-phase lowpass filtering, and resampling.
+//
+// The synthetic record carries a coherent noise wave propagating along the
+// fiber at a known speed, so the recovered correlation peaks move linearly
+// with channel offset — the travel-time structure geophysicists invert for
+// subsurface velocity.
+//
+// Run with: go run ./examples/interferometry
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"dassa/internal/arrayudf"
+	"dassa/internal/dasf"
+	"dassa/internal/dass"
+	"dassa/internal/detect"
+	"dassa/internal/haee"
+)
+
+const (
+	channels = 32
+	rate     = 100.0
+	seconds  = 40.0
+	// The coherent noise wavefield moves at speedChPerSec channels/second,
+	// i.e. neighboring channels see the same noise delayCh samples apart.
+	speedChPerSec = 25.0
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "dassa-interf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Build the propagating-noise record directly: channel c records
+	// src(t - c/speed) plus local noise.
+	nt := int(rate * seconds)
+	delaySamples := rate / speedChPerSec // samples of delay per channel
+	src := make([]float64, nt+channels*int(delaySamples)+64)
+	rng := rand.New(rand.NewSource(99))
+	prev := 0.0
+	for i := range src {
+		prev = 0.85*prev + rng.NormFloat64()
+		src[i] = prev
+	}
+	raw := dasf.NewArray2D(channels, nt)
+	for c := 0; c < channels; c++ {
+		off := int(float64(c) * delaySamples)
+		for t := 0; t < nt; t++ {
+			local := 0.3 * rng.NormFloat64()
+			raw.Set(c, t, src[t+len(src)-nt-off]+local)
+		}
+	}
+	path := filepath.Join(dir, "ambient_170620100545.dasf")
+	meta := dasf.Meta{
+		dasf.KeySamplingFrequency: dasf.I(int64(rate)),
+		dasf.KeyTimeStamp:         dasf.S("170620100545"),
+	}
+	if err := dasf.WriteData(path, meta, nil, raw, dasf.Float64); err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := dass.OpenView(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := detect.InterferometryParams{
+		Rate:          rate,
+		FilterOrder:   4,
+		CutoffHz:      20,
+		ResampleP:     1,
+		ResampleQ:     2,
+		MasterChannel: 0,
+		MaxLag:        60,
+	}
+	parts := params.Workload(nt)
+	eng := haee.New(haee.Config{Nodes: 2, CoresPerNode: 4, Mode: haee.Hybrid})
+	rep, err := eng.RunRows(v, haee.RowsWorkload{
+		Spec:    arrayudf.Spec{},
+		RowLen:  parts.RowLen,
+		Prepare: parts.Prepare,
+		UDF:     parts.UDF,
+	}, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	corr := rep.Output
+
+	// Expected peak lag for channel c at the resampled (÷2) rate.
+	fmt.Printf("channel  peak-lag  expected  corr-peak\n")
+	half := corr.Samples / 2
+	maxErr := 0
+	for c := 0; c < channels; c += 4 {
+		row := corr.Row(c)
+		best, bestI := math.Inf(-1), 0
+		for i, v := range row {
+			if v > best {
+				best, bestI = v, i
+			}
+		}
+		got := bestI - half
+		want := int(math.Round(float64(c) * delaySamples / 2)) // ÷2 resampling
+		if d := got - want; d > maxErr || -d > maxErr {
+			if d < 0 {
+				d = -d
+			}
+			maxErr = d
+		}
+		fmt.Printf("%7d %9d %9d %10.3f\n", c, got, want, best)
+	}
+	fmt.Printf("\nmax peak-lag error: %d samples — the moveout is linear in channel offset,\n", maxErr)
+	fmt.Println("which is the empirical Green's function structure interferometry recovers.")
+	if maxErr > 3 {
+		log.Fatal("moveout recovery failed")
+	}
+}

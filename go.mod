@@ -1,0 +1,3 @@
+module dassa
+
+go 1.22

@@ -1,0 +1,274 @@
+// Package arrayudf reimplements ArrayUDF (Dong et al., HPDC'17), the
+// framework DASSA builds on: a distributed 2D array abstraction where a
+// user-defined function expressed over a Stencil — a cell plus its
+// structural neighborhood — is applied to every cell in parallel, with
+// ghost zones sized to the stencil's reach so execution needs no mid-run
+// communication. This package provides the original pure-MPI execution
+// model (one process per core); package haee adds the paper's hybrid
+// MPI+threads model on top of the same primitives.
+package arrayudf
+
+import (
+	"fmt"
+
+	"dassa/internal/dasf"
+	"dassa/internal/dass"
+	"dassa/internal/mpi"
+	"dassa/internal/pfs"
+)
+
+// Stencil is the UDF's window onto the distributed array: a current cell
+// (channel, time) plus relative access to its neighborhood, like the
+// paper's S(offset) notation. Out-of-range accesses clamp to the array
+// edge, the usual boundary policy for seismic windows.
+type Stencil struct {
+	block *dasf.Array2D // local channels (with ghosts) × full time extent
+	chOff int           // row index of "channel 0 of this rank's block" inside block
+	ch    int           // current cell: rank-relative channel (0-based, ghost-free)
+	t     int           // current cell: time index
+}
+
+// Value returns the current cell's value, S(0) in the paper.
+func (s *Stencil) Value() float64 { return s.At(0, 0) }
+
+// At returns the value at time offset dt and channel offset dch from the
+// current cell, clamping at the block's edges.
+func (s *Stencil) At(dt, dch int) float64 {
+	ch := clamp(s.chOff+s.ch+dch, 0, s.block.Channels-1)
+	t := clamp(s.t+dt, 0, s.block.Samples-1)
+	return s.block.At(ch, t)
+}
+
+// Window copies the samples S(tLo:tHi, dch) — time offsets [tLo, tHi]
+// inclusive on the channel dch away from the current one — into a new
+// slice, clamping at edges. This is the access pattern of the paper's
+// Algorithm 2 (W = S(−M:M, 0), W1 = S(l−M:l+M, +K)).
+func (s *Stencil) Window(tLo, tHi, dch int) []float64 {
+	if tHi < tLo {
+		panic(fmt.Sprintf("arrayudf: Window range [%d,%d] inverted", tLo, tHi))
+	}
+	out := make([]float64, tHi-tLo+1)
+	ch := clamp(s.chOff+s.ch+dch, 0, s.block.Channels-1)
+	row := s.block.Row(ch)
+	for i := range out {
+		out[i] = row[clamp(s.t+tLo+i, 0, s.block.Samples-1)]
+	}
+	return out
+}
+
+// Row returns the full time series of the channel dch away from the
+// current cell, without copying. Callers must not modify it.
+func (s *Stencil) Row(dch int) []float64 {
+	ch := clamp(s.chOff+s.ch+dch, 0, s.block.Channels-1)
+	return s.block.Row(ch)
+}
+
+// T returns the current cell's time index and Channel its rank-relative
+// channel index.
+func (s *Stencil) T() int { return s.t }
+
+// Channel returns the current cell's channel index relative to the rank's
+// block start.
+func (s *Stencil) Channel() int { return s.ch }
+
+// Samples returns the time extent of the underlying array.
+func (s *Stencil) Samples() int { return s.block.Samples }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PointUDF maps a stencil to one output value — the f in B = Apply(A, f).
+type PointUDF func(s *Stencil) float64
+
+// RowUDF maps a channel's stencil to a fixed-length output row (e.g. a
+// cross-correlation series), the shape Algorithm 3 produces.
+type RowUDF func(s *Stencil) []float64
+
+// Spec configures an Apply execution.
+type Spec struct {
+	// GhostChannels is the stencil's channel reach (K in Algorithm 2): each
+	// rank's block is padded with this many channels on each side, so no
+	// communication happens during execution.
+	GhostChannels int
+	// TimeStride evaluates the UDF every TimeStride samples (window hop).
+	// 0 or 1 means every sample.
+	TimeStride int
+	// ReadStrategy selects how blocks are loaded; nil means each rank reads
+	// its own extended block independently (the original ArrayUDF pattern).
+	ReadStrategy ReadStrategy
+}
+
+func (sp Spec) stride() int {
+	if sp.TimeStride <= 0 {
+		return 1
+	}
+	return sp.TimeStride
+}
+
+// OutSamples returns the output time extent for an input extent nt.
+func (sp Spec) OutSamples(nt int) int {
+	return (nt + sp.stride() - 1) / sp.stride()
+}
+
+// ReadStrategy loads one rank's channel block [chLo, chHi) (ghost-extended
+// bounds, view-relative) over the view's full time extent.
+type ReadStrategy func(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D, pfs.Trace)
+
+// IndependentRead is the default strategy: every rank issues its own
+// hyperslab reads against the view (O(p×files) requests on a VCA). An
+// empty channel range returns an empty array without touching storage.
+func IndependentRead(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D, pfs.Trace) {
+	if chLo >= chHi {
+		_, nt := v.Shape()
+		return dasf.NewArray2D(0, nt), pfs.Trace{}
+	}
+	sub, err := v.SubsetChannels(chLo, chHi)
+	if err != nil {
+		panic(fmt.Sprintf("arrayudf: ghost-extended subset: %v", err))
+	}
+	data, tr, err := sub.Read()
+	if err != nil {
+		panic(fmt.Sprintf("arrayudf: block read: %v", err))
+	}
+	return data, tr
+}
+
+// Block is one rank's loaded portion of the array, ghost channels included.
+type Block struct {
+	Data  *dasf.Array2D
+	ChLo  int // view-relative first owned (non-ghost) channel
+	ChHi  int // view-relative past-the-end owned channel
+	Ghost int // ghost width actually applied below ChLo
+}
+
+// LoadBlock reads the calling rank's ghost-extended channel block. The
+// strategy runs on every rank — including ranks whose partition is empty —
+// because strategies may contain collective operations.
+func LoadBlock(c *mpi.Comm, v *dass.View, spec Spec) (Block, pfs.Trace) {
+	nch, _ := v.Shape()
+	lo, hi := dass.Partition(nch, c.Size(), c.Rank())
+	gLo := max(lo-spec.GhostChannels, 0)
+	gHi := min(hi+spec.GhostChannels, nch)
+	if lo >= hi {
+		// Empty partition: request an empty range so the strategy still
+		// participates in any collectives without reading data.
+		gLo, gHi = lo, lo
+	}
+	blk := Block{ChLo: lo, ChHi: hi, Ghost: lo - gLo}
+	read := spec.ReadStrategy
+	if read == nil {
+		read = IndependentRead
+	}
+	var tr pfs.Trace
+	blk.Data, tr = read(c, v, gLo, gHi)
+	if lo >= hi {
+		blk.Data = nil
+	}
+	return blk, tr
+}
+
+// stencilFor builds the stencil for owned channel ch (rank-relative).
+func (b Block) stencilFor() *Stencil {
+	return &Stencil{block: b.Data, chOff: b.Ghost}
+}
+
+// Stencil returns a fresh stencil positioned at owned channel ch (ghost-
+// free, rank-relative) and time index t. Each thread of a multithreaded
+// Apply builds its own stencils, so evaluation needs no locking.
+func (b Block) Stencil(ch, t int) *Stencil {
+	return &Stencil{block: b.Data, chOff: b.Ghost, ch: ch, t: t}
+}
+
+// OwnedChannels returns how many channels the block owns (ghosts excluded).
+func (b Block) OwnedChannels() int { return b.ChHi - b.ChLo }
+
+// Result is a rank's output block from Apply: owned channels × output
+// samples, plus the I/O trace (reduced to rank 0).
+type Result struct {
+	Data *dasf.Array2D
+	ChLo int
+	ChHi int
+	// ReadTrace is the global read trace (rank 0 only).
+	ReadTrace pfs.Trace
+}
+
+// Apply is the original ArrayUDF execution: every rank loads its
+// ghost-extended block and evaluates udf at every (owned channel, strided
+// time) cell sequentially. The result keeps the rank's rows; use
+// dass.GatherBlocks-style collection or WriteResult to assemble.
+func Apply(c *mpi.Comm, v *dass.View, spec Spec, udf PointUDF) Result {
+	blk, tr := LoadBlock(c, v, spec)
+	_, nt := v.Shape()
+	outT := spec.OutSamples(nt)
+	own := blk.OwnedChannels()
+	res := Result{ChLo: blk.ChLo, ChHi: blk.ChHi, ReadTrace: tr, Data: dasf.NewArray2D(max(own, 0), outT)}
+	if own <= 0 {
+		return res
+	}
+	st := blk.stencilFor()
+	stride := spec.stride()
+	for ch := 0; ch < own; ch++ {
+		st.ch = ch
+		row := res.Data.Row(ch)
+		for i := 0; i < outT; i++ {
+			st.t = i * stride
+			row[i] = udf(st)
+		}
+	}
+	return res
+}
+
+// ApplyRows is Apply for RowUDFs: udf runs once per owned channel and
+// returns a row of exactly rowLen values.
+func ApplyRows(c *mpi.Comm, v *dass.View, spec Spec, rowLen int, udf RowUDF) Result {
+	blk, tr := LoadBlock(c, v, spec)
+	own := blk.OwnedChannels()
+	res := Result{ChLo: blk.ChLo, ChHi: blk.ChHi, ReadTrace: tr, Data: dasf.NewArray2D(max(own, 0), rowLen)}
+	if own <= 0 {
+		return res
+	}
+	st := blk.stencilFor()
+	for ch := 0; ch < own; ch++ {
+		st.ch = ch
+		st.t = 0
+		row := udf(st)
+		if len(row) != rowLen {
+			panic(fmt.Sprintf("arrayudf: RowUDF returned %d values, declared %d", len(row), rowLen))
+		}
+		copy(res.Data.Row(ch), row)
+	}
+	return res
+}
+
+// Gather assembles the per-rank results into the full output on rank 0
+// (nil on other ranks).
+func Gather(c *mpi.Comm, totalChannels int, res Result) *dasf.Array2D {
+	var flat []float64
+	if res.Data != nil {
+		flat = res.Data.Data
+	}
+	parts := mpi.Gather(c, 0, flat)
+	if c.Rank() != 0 {
+		return nil
+	}
+	outT := 0
+	if res.Data != nil {
+		outT = res.Data.Samples
+	}
+	// All ranks share the output width; rank 0's is authoritative.
+	out := dasf.NewArray2D(totalChannels, outT)
+	for rank, part := range parts {
+		lo, hi := dass.Partition(totalChannels, c.Size(), rank)
+		for ch := lo; ch < hi; ch++ {
+			copy(out.Row(ch), part[(ch-lo)*outT:(ch-lo+1)*outT])
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package arrayudf
+
+import (
+	"testing"
+
+	"dassa/internal/dasf"
+	"dassa/internal/mpi"
+)
+
+func TestCommAvoidingStrategyMatchesIndependent(t *testing.T) {
+	v, full := makeView(t, 24, 5)
+	spec := Spec{GhostChannels: 2, ReadStrategy: CommAvoidingRead}
+	udf := func(s *Stencil) float64 {
+		return s.At(0, -2) + s.Value() + s.At(0, 2)
+	}
+	// Serial reference with the default strategy.
+	var want *dasf.Array2D
+	_, err := mpi.Run(1, func(c *mpi.Comm) {
+		res := Apply(c, v, Spec{GhostChannels: 2}, udf)
+		want = Gather(c, full.Channels, res)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 4, 6} {
+		var got *dasf.Array2D
+		_, err := mpi.Run(p, func(c *mpi.Comm) {
+			res := Apply(c, v, spec, udf)
+			if out := Gather(c, full.Channels, res); out != nil {
+				got = out
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("p=%d: comm-avoiding strategy differs at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestCommAvoidingStrategyNoGhosts(t *testing.T) {
+	v, full := makeView(t, 12, 3)
+	spec := Spec{ReadStrategy: CommAvoidingRead}
+	var got *dasf.Array2D
+	_, err := mpi.Run(4, func(c *mpi.Comm) {
+		res := Apply(c, v, spec, identityUDF)
+		if out := Gather(c, full.Channels, res); out != nil {
+			got = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Data {
+		if got.Data[i] != full.Data[i] {
+			t.Fatalf("identity with comm-avoiding strategy differs at %d", i)
+		}
+	}
+}
+
+func TestCommAvoidingStrategyReducesOpens(t *testing.T) {
+	v, _ := makeView(t, 16, 6)
+	const p = 4
+	countOpens := func(strategy ReadStrategy) int64 {
+		var opens int64
+		_, err := mpi.Run(p, func(c *mpi.Comm) {
+			spec := Spec{GhostChannels: 1, ReadStrategy: strategy}
+			_, tr := LoadBlock(c, v, spec)
+			sum := mpi.Reduce(c, 0, []int64{tr.Opens}, mpi.SumI64)
+			if c.Rank() == 0 {
+				opens = sum[0]
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return opens
+	}
+	indep := countOpens(nil) // default independent
+	ca := countOpens(CommAvoidingRead)
+	// Independent: p ranks × 6 files = 24 opens. Comm-avoiding: 6 total.
+	if indep != 24 {
+		t.Errorf("independent opens = %d, want 24", indep)
+	}
+	if ca != 6 {
+		t.Errorf("comm-avoiding opens = %d, want 6", ca)
+	}
+}
+
+func TestCommAvoidingStrategyFallsBackOnHugeGhost(t *testing.T) {
+	// 8 channels over 4 ranks → blocks of 2; ghost 3 > 2 ⇒ the halo cannot
+	// be served by immediate neighbors and the strategy must fall back to
+	// independent reads, still producing correct results.
+	v, full := makeView(t, 8, 2)
+	spec := Spec{GhostChannels: 3, ReadStrategy: CommAvoidingRead}
+	udf := func(s *Stencil) float64 { return s.At(0, -3) + s.At(0, 3) }
+	var want *dasf.Array2D
+	_, err := mpi.Run(1, func(c *mpi.Comm) {
+		res := Apply(c, v, Spec{GhostChannels: 3}, udf)
+		want = Gather(c, full.Channels, res)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *dasf.Array2D
+	var opens int64
+	_, err = mpi.Run(4, func(c *mpi.Comm) {
+		res := Apply(c, v, spec, udf)
+		sum := mpi.Reduce(c, 0, []int64{res.ReadTrace.Opens}, mpi.SumI64)
+		_ = sum
+		if out := Gather(c, full.Channels, res); out != nil {
+			got = out
+		}
+		if c.Rank() == 0 {
+			opens = res.ReadTrace.Opens
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = opens
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("fallback path differs at %d", i)
+		}
+	}
+}
+
+func TestCommAvoidingStrategyMoreRanksThanChannels(t *testing.T) {
+	v, full := makeView(t, 3, 2)
+	var got *dasf.Array2D
+	_, err := mpi.Run(6, func(c *mpi.Comm) {
+		res := Apply(c, v, Spec{GhostChannels: 1, ReadStrategy: CommAvoidingRead}, identityUDF)
+		if out := Gather(c, full.Channels, res); out != nil {
+			got = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Data {
+		if got.Data[i] != full.Data[i] {
+			t.Fatalf("overprovisioned comm-avoiding differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	o := testOptions(t)
+	res, err := RunAblations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing ghost zones must corrupt partition-boundary cells whenever
+	// the array is actually split.
+	for p, errs := range res.GhostErrors {
+		if p > 1 && errs == 0 {
+			t.Errorf("ghost ablation at %d ranks produced no boundary errors — ghosts would be pointless", p)
+		}
+	}
+	// On skewed work the dynamic schedule balances better than static.
+	if res.DynamicImbalance >= res.StaticImbalance {
+		t.Errorf("dynamic imbalance %.3f should beat static %.3f on skewed work",
+			res.DynamicImbalance, res.StaticImbalance)
+	}
+	if res.StaticImbalance < 1 || res.DynamicImbalance < 1 {
+		t.Error("imbalance ratios below 1 are impossible")
+	}
+	// Burst buffer must improve large-scale strong I/O efficiency (§VI.E).
+	if res.BBIOEffAtMax <= res.DiskIOEffAtMax {
+		t.Errorf("burst buffer efficiency %.1f%% should beat disk %.1f%%",
+			res.BBIOEffAtMax, res.DiskIOEffAtMax)
+	}
+	// The tuner must return a feasible suggestion.
+	if !res.TunerBest.Feasible || res.TunerBest.Nodes < 1 {
+		t.Errorf("tuner suggestion invalid: %+v", res.TunerBest)
+	}
+	if res.MergeAppend <= 0 || res.MergeLocked <= 0 {
+		t.Error("merge timings missing")
+	}
+}
+
+func TestAblationEngineReadStrategy(t *testing.T) {
+	o := testOptions(t)
+	res, err := RunAblations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineOpensCommAvoid >= res.EngineOpensIndependent {
+		t.Errorf("comm-avoiding strategy opens (%d) should be below independent (%d)",
+			res.EngineOpensCommAvoid, res.EngineOpensIndependent)
+	}
+}

@@ -1,0 +1,156 @@
+// Package bench regenerates every table and figure of the DASSA paper's
+// evaluation (§VI) at laptop scale: it generates a synthetic DAS dataset,
+// runs the real storage and analysis code paths, measures wall-clock and
+// operation traces, and projects the traces onto a Cori-like hardware model
+// so the paper-scale shapes (who wins, by roughly what factor) can be
+// compared directly. EXPERIMENTS.md records paper-vs-measured for each.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dassa/internal/dasf"
+	"dassa/internal/dasgen"
+	"dassa/internal/dass"
+	"dassa/internal/detect"
+	"dassa/internal/pfs"
+)
+
+// Options configures the whole experiment suite.
+type Options struct {
+	// DataDir holds the generated dataset; reused across experiments when
+	// it already contains the right series.
+	DataDir string
+	// Channels/Files/SampleRate/FileSeconds size the synthetic acquisition
+	// (scaled-down stand-ins for the paper's 11648 channels × 2880 files).
+	Channels    int
+	Files       int
+	SampleRate  float64
+	FileSeconds float64
+	Seed        int64
+	// Ranks is the parallel width for read experiments (paper: 90).
+	Ranks int
+	// Nodes/CoresPerNode size the Figure 8/11 sweeps; sweeps use powers of
+	// two up to Nodes.
+	Nodes        int
+	CoresPerNode int
+	// Model projects traces to paper-scale hardware.
+	Model pfs.Model
+	// Out receives the printed tables (default os.Stdout).
+	Out io.Writer
+}
+
+// Defaults returns a configuration that completes in seconds on a laptop
+// while exercising every code path the paper's experiments exercise.
+func Defaults() Options {
+	return Options{
+		DataDir:      filepath.Join(os.TempDir(), "dassa-bench"),
+		Channels:     96,
+		Files:        24,
+		SampleRate:   100,
+		FileSeconds:  4,
+		Seed:         20200518, // IPDPS 2020 conference date
+		Ranks:        6,
+		Nodes:        8,
+		CoresPerNode: 4,
+		Model:        pfs.CoriLike(),
+		Out:          os.Stdout,
+	}
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return os.Stdout
+	}
+	return o.Out
+}
+
+func (o Options) genConfig() dasgen.Config {
+	return dasgen.Config{
+		Channels:    o.Channels,
+		SampleRate:  o.SampleRate,
+		FileSeconds: o.FileSeconds,
+		NumFiles:    o.Files,
+		Seed:        o.Seed,
+		DType:       dasf.Float32,
+	}
+}
+
+// interferometry returns the workload parameters used as the paper's
+// default experiment driver (Algorithm 3).
+func (o Options) interferometry() detect.InterferometryParams {
+	return detect.InterferometryParams{
+		Rate:          o.SampleRate,
+		FilterOrder:   3,
+		CutoffHz:      o.SampleRate / 8,
+		ResampleP:     1,
+		ResampleQ:     2,
+		MasterChannel: 0,
+		MaxLag:        64,
+	}
+}
+
+// EnsureDataset generates the synthetic series (if not already present)
+// and returns its catalog. The raw series lives in DataDir/raw so that
+// merged arrays and experiment outputs written next to it never pollute
+// rescans. The Fig. 10 event mix is always planted so the same dataset
+// serves every experiment.
+func EnsureDataset(o Options) (*dass.Catalog, error) {
+	cfg := o.genConfig()
+	rawDir := filepath.Join(o.DataDir, "raw")
+	marker := filepath.Join(rawDir, fmt.Sprintf(".dassa-%d-%d-%d", o.Channels, o.Files, o.Seed))
+	if _, err := os.Stat(marker); err != nil {
+		if err := os.RemoveAll(o.DataDir); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		if _, err := dasgen.Generate(rawDir, cfg, dasgen.Fig10Events(cfg)); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(marker, []byte("ok"), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
+	return dass.ScanDir(rawDir)
+}
+
+// timeIt measures f's wall time.
+func timeIt(f func() error) (time.Duration, error) {
+	t0 := time.Now()
+	err := f()
+	return time.Since(t0), err
+}
+
+// hline prints a section rule.
+func hline(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(o Options) error {
+	type step struct {
+		name string
+		run  func(Options) error
+	}
+	steps := []step{
+		{"Table I (RCA vs VCA)", func(o Options) error { _, err := RunTable1(o); return err }},
+		{"Table II (DasLib semantics)", func(o Options) error { _, err := RunTable2(o); return err }},
+		{"Figure 6 (search & merge)", func(o Options) error { _, err := RunFig6(o); return err }},
+		{"Figure 7 (read methods)", func(o Options) error { _, err := RunFig7(o); return err }},
+		{"Figure 8 (hybrid vs MPI)", func(o Options) error { _, err := RunFig8(o); return err }},
+		{"Figure 9 (DASSA vs MATLAB)", func(o Options) error { _, err := RunFig9(o); return err }},
+		{"Figure 10 (event detection)", func(o Options) error { _, err := RunFig10(o); return err }},
+		{"Figure 11 (scaling)", func(o Options) error { _, err := RunFig11(o); return err }},
+		{"Ablations", func(o Options) error { _, err := RunAblations(o); return err }},
+		{"Detector comparison", func(o Options) error { _, err := RunDetectors(o); return err }},
+	}
+	for _, s := range steps {
+		if err := s.run(o); err != nil {
+			return fmt.Errorf("bench: %s: %w", s.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+func TestDetectorComparison(t *testing.T) {
+	o := testOptions(t)
+	rows, err := RunDetectors(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The headline claim (ref [18]): STA/LTA false-triggers on incoherent
+	// bursts, local similarity does not; both detect the coherent quake.
+	if got := eventsOf(rows, "incoherent bursts", "STA/LTA"); got < 3 {
+		t.Errorf("STA/LTA declared %d events on the bursts, expected false triggers", got)
+	}
+	if got := eventsOf(rows, "incoherent bursts", "local similarity"); got > 1 {
+		t.Errorf("local similarity declared %d events on incoherent bursts, want ≈0", got)
+	}
+	if got := eventsOf(rows, "coherent earthquake", "STA/LTA"); got < 3 {
+		t.Errorf("STA/LTA missed the quake (%d triggering channels)", got)
+	}
+	if got := eventsOf(rows, "coherent earthquake", "local similarity"); got < 1 {
+		t.Errorf("local similarity missed the quake (%d regions)", got)
+	}
+	for _, r := range rows {
+		if r.Contrast <= 0 {
+			t.Errorf("non-positive contrast: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package core is the DASSA framework facade — the high-level, easy-to-use
+// API the paper promises geophysicists (§III): open a directory of DAS
+// files, search by time, merge virtually, and run analyses in parallel
+// without touching the storage engine, the execution engine, or the
+// message-passing layer directly. Everything underneath (dass, arrayudf,
+// haee, daslib, detect) remains available for advanced use; this package
+// is the one a downstream user starts with.
+//
+//	ds, _ := core.OpenDataset("./data")
+//	view, _ := ds.MergeAll()
+//	fw := core.New(core.Config{Nodes: 4, CoresPerNode: 8})
+//	sim, rep, _ := fw.LocalSimilarity(view, core.DefaultLocalSimi(500))
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dassa/internal/arrayudf"
+	"dassa/internal/dasf"
+	"dassa/internal/dass"
+	"dassa/internal/detect"
+	"dassa/internal/haee"
+	"dassa/internal/mpi"
+	"dassa/internal/pfs"
+)
+
+// Config sizes the execution engine. Zero values choose sane defaults
+// (one node, four cores, hybrid mode).
+type Config struct {
+	Nodes        int
+	CoresPerNode int
+	// PureMPI selects the legacy one-process-per-core model; default is
+	// the hybrid engine.
+	PureMPI bool
+	// NodeMemoryBytes, when positive, makes runs fail with ErrOutOfMemory
+	// instead of exceeding the per-node budget.
+	NodeMemoryBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 4
+	}
+	return c
+}
+
+// ErrOutOfMemory reports that a run's estimated per-node footprint
+// exceeded Config.NodeMemoryBytes.
+var ErrOutOfMemory = fmt.Errorf("core: estimated per-node memory exceeds the configured budget")
+
+// Framework executes analyses under a machine layout.
+type Framework struct {
+	cfg Config
+}
+
+// New creates a framework with the given layout.
+func New(cfg Config) *Framework {
+	return &Framework{cfg: cfg.withDefaults()}
+}
+
+func (f *Framework) engine() *haee.Engine {
+	mode := haee.Hybrid
+	if f.cfg.PureMPI {
+		mode = haee.PureMPI
+	}
+	return haee.New(haee.Config{
+		Nodes:           f.cfg.Nodes,
+		CoresPerNode:    f.cfg.CoresPerNode,
+		Mode:            mode,
+		NodeMemoryBytes: f.cfg.NodeMemoryBytes,
+	})
+}
+
+// Dataset is an opened directory of DAS data files.
+type Dataset struct {
+	dir string
+	cat *dass.Catalog
+}
+
+// OpenDataset catalogs every DASF data file in dir (metadata only, with
+// the persistent index so unchanged files cost nothing to rescan).
+func OpenDataset(dir string) (*Dataset, error) {
+	cat, err := dass.ScanDirCached(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cat.Len() == 0 {
+		return nil, fmt.Errorf("core: no DASF data files in %s", dir)
+	}
+	return &Dataset{dir: dir, cat: cat}, nil
+}
+
+// Len returns the number of cataloged files.
+func (d *Dataset) Len() int { return d.cat.Len() }
+
+// Files returns the cataloged entries in time order.
+func (d *Dataset) Files() []dass.Entry { return d.cat.Entries() }
+
+// SampleRate returns the dataset's sampling frequency from metadata, or 0
+// if absent.
+func (d *Dataset) SampleRate() float64 {
+	if d.cat.Len() == 0 {
+		return 0
+	}
+	if v, ok := d.cat.Entries()[0].Info.Global[dasf.KeySamplingFrequency]; ok {
+		return float64(v.Int)
+	}
+	return 0
+}
+
+// Search finds files by start timestamp and count (das_search -s/-c).
+func (d *Dataset) Search(start int64, count int) []dass.Entry {
+	return d.cat.SearchStartCount(start, count)
+}
+
+// SearchRegex finds files whose timestamp matches the anchored pattern
+// (das_search -e).
+func (d *Dataset) SearchRegex(pattern string) ([]dass.Entry, error) {
+	return d.cat.SearchRegex(pattern)
+}
+
+// SearchRange finds files recorded in [start, end) — both yymmddhhmmss
+// timestamps.
+func (d *Dataset) SearchRange(start, end int64) []dass.Entry {
+	return d.cat.SearchRange(start, end)
+}
+
+// Merge virtually concatenates the given files and returns a view over the
+// result. The VCA file is written next to the data (metadata only).
+func (d *Dataset) Merge(entries []dass.Entry) (*dass.View, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: nothing to merge")
+	}
+	path := filepath.Join(d.dir, fmt.Sprintf(".merge_%d_%d.vca.dasf",
+		entries[0].Timestamp, len(entries)))
+	if _, err := dass.CreateVCA(path, entries); err != nil {
+		return nil, err
+	}
+	return dass.OpenView(path)
+}
+
+// MergeAll merges the whole dataset.
+func (d *Dataset) MergeAll() (*dass.View, error) {
+	return d.Merge(d.cat.Entries())
+}
+
+// Report summarizes a framework run for callers that want phase timings
+// and I/O accounting without importing haee.
+type Report struct {
+	ReadTrace  pfs.Trace
+	MemPerNode int64
+	Phases     struct{ Read, Compute, Write string }
+}
+
+func reportOf(rep haee.Report) Report {
+	out := Report{ReadTrace: rep.ReadTrace, MemPerNode: rep.MemPerNode}
+	out.Phases.Read = rep.ReadTime.String()
+	out.Phases.Compute = rep.ComputeTime.String()
+	out.Phases.Write = rep.WriteTime.String()
+	return out
+}
+
+// LocalSimiOptions configures earthquake detection (Algorithm 2).
+type LocalSimiOptions struct {
+	detect.LocalSimiParams
+	// Threshold is the detection cut in background standard deviations
+	// (default 1.5 when zero).
+	Threshold float64
+	// OutPath, when set, writes the similarity map as a DASF file.
+	OutPath string
+}
+
+// DefaultLocalSimi returns the parameters used throughout the paper's
+// demonstrations, scaled to the sampling rate.
+func DefaultLocalSimi(rate float64) LocalSimiOptions {
+	return LocalSimiOptions{
+		LocalSimiParams: detect.LocalSimiParams{
+			M: max(int(rate/4), 2), K: 1, L: 4, Stride: max(int(rate/5), 1),
+		},
+		Threshold: 1.5,
+	}
+}
+
+// LocalSimilarity computes the local-similarity map over the view and
+// returns it along with the detected events.
+func (f *Framework) LocalSimilarity(v *dass.View, opt LocalSimiOptions) (*dasf.Array2D, []detect.Region, Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, Report{}, err
+	}
+	rep, err := f.engine().RunPoints(v, haee.PointsWorkload{
+		Spec: opt.Spec(), UDF: opt.UDF(),
+	}, opt.OutPath)
+	if err != nil {
+		return nil, nil, Report{}, err
+	}
+	if rep.OOM {
+		return nil, nil, reportOf(rep), ErrOutOfMemory
+	}
+	thresh := opt.Threshold
+	if thresh == 0 {
+		thresh = 1.5
+	}
+	nch, _ := v.Shape()
+	regions := detect.FindEventsBanded(rep.Output, thresh, max(nch/8, 4))
+	return rep.Output, regions, reportOf(rep), nil
+}
+
+// InterferometryOptions configures ambient-noise interferometry
+// (Algorithm 3).
+type InterferometryOptions struct {
+	detect.InterferometryParams
+	// OutPath, when set, writes the correlation array as a DASF file.
+	OutPath string
+}
+
+// DefaultInterferometry returns a standard pipeline for the sampling rate:
+// lowpass at rate/8, decimate by 2, correlate against channel 0.
+func DefaultInterferometry(rate float64) InterferometryOptions {
+	return InterferometryOptions{
+		InterferometryParams: detect.InterferometryParams{
+			Rate: rate, FilterOrder: 3, CutoffHz: rate / 8,
+			ResampleP: 1, ResampleQ: 2, MasterChannel: 0, MaxLag: 128,
+		},
+	}
+}
+
+// Interferometry computes per-channel noise correlations against the
+// master channel.
+func (f *Framework) Interferometry(v *dass.View, opt InterferometryOptions) (*dasf.Array2D, Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, Report{}, err
+	}
+	_, nt := v.Shape()
+	parts := opt.Workload(nt)
+	rep, err := f.engine().RunRows(v, haee.RowsWorkload{
+		Spec:    arrayudf.Spec{},
+		RowLen:  parts.RowLen,
+		Prepare: parts.Prepare,
+		UDF:     parts.UDF,
+	}, opt.OutPath)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if rep.OOM {
+		return nil, reportOf(rep), ErrOutOfMemory
+	}
+	return rep.Output, reportOf(rep), nil
+}
+
+// StackedInterferometryOptions configures windowed interferometry with
+// correlation stacking — the production ambient-noise workflow (ref [16]).
+type StackedInterferometryOptions struct {
+	detect.StackingParams
+	// OutPath, when set, writes the stacked correlations as a DASF file.
+	OutPath string
+}
+
+// DefaultStackedInterferometry windows the record into 8 segments with 25%
+// overlap on top of the default pipeline.
+func DefaultStackedInterferometry(rate float64, totalSamples int) StackedInterferometryOptions {
+	win := max(totalSamples/8, 64)
+	return StackedInterferometryOptions{
+		StackingParams: detect.StackingParams{
+			InterferometryParams: DefaultInterferometry(rate).InterferometryParams,
+			WindowSamples:        win,
+			OverlapSamples:       win / 4,
+		},
+	}
+}
+
+// StackedInterferometry computes per-channel noise correlations stacked
+// over time windows.
+func (f *Framework) StackedInterferometry(v *dass.View, opt StackedInterferometryOptions) (*dasf.Array2D, Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, Report{}, err
+	}
+	rep, err := f.engine().RunRows(v, haee.RowsWorkload{
+		Spec:   arrayudf.Spec{},
+		RowLen: opt.StackedRowLen(),
+		Prepare: func(c *mpi.Comm, view *dass.View) (any, int64, pfs.Trace) {
+			m, tr, err := opt.PrepareStackedMasterFromView(view)
+			if err != nil {
+				panic(fmt.Sprintf("core: stacked master: %v", err))
+			}
+			return m, m.Bytes(), tr
+		},
+		UDF: func(s *arrayudf.Stencil, shared any) []float64 {
+			return opt.StackedUDF(shared.(*detect.StackedMaster))(s)
+		},
+	}, opt.OutPath)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if rep.OOM {
+		return nil, reportOf(rep), ErrOutOfMemory
+	}
+	return rep.Output, reportOf(rep), nil
+}
+
+// STALTA computes the classical short-term/long-term-average trigger map —
+// the single-channel baseline the local-similarity method outperforms on
+// dense arrays.
+func (f *Framework) STALTA(v *dass.View, p detect.STALTAParams, outPath string) (*dasf.Array2D, Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Report{}, err
+	}
+	rep, err := f.engine().RunPoints(v, haee.PointsWorkload{Spec: p.Spec(), UDF: p.UDF()}, outPath)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if rep.OOM {
+		return nil, reportOf(rep), ErrOutOfMemory
+	}
+	return rep.Output, reportOf(rep), nil
+}
+
+// Apply runs an arbitrary stencil UDF over the view — the raw
+// B = Apply(A, f) interface of ArrayUDF, parallelized by the framework's
+// engine. ghostChannels is the stencil's channel reach; timeStride > 1
+// evaluates every timeStride-th sample.
+func (f *Framework) Apply(v *dass.View, ghostChannels, timeStride int, udf func(s *arrayudf.Stencil) float64, outPath string) (*dasf.Array2D, Report, error) {
+	if udf == nil {
+		return nil, Report{}, fmt.Errorf("core: Apply needs a UDF")
+	}
+	rep, err := f.engine().RunPoints(v, haee.PointsWorkload{
+		Spec: arrayudf.Spec{GhostChannels: ghostChannels, TimeStride: timeStride},
+		UDF:  udf,
+	}, outPath)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if rep.OOM {
+		return nil, reportOf(rep), ErrOutOfMemory
+	}
+	return rep.Output, reportOf(rep), nil
+}
+
+// CleanMergeFiles removes the VCA files Merge wrote into the dataset
+// directory.
+func (d *Dataset) CleanMergeFiles() error {
+	matches, err := filepath.Glob(filepath.Join(d.dir, ".merge_*.vca.dasf"))
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

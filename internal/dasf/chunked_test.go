@@ -1,0 +1,173 @@
+package dasf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// smoothArray produces a compressible record (DAS noise after filtering is
+// smooth, so deflate bites).
+func smoothArray(channels, samples int) *Array2D {
+	a := NewArray2D(channels, samples)
+	for c := 0; c < channels; c++ {
+		for t := 0; t < samples; t++ {
+			a.Set(c, t, math.Round(100*math.Sin(float64(t)/40+float64(c)))/100)
+		}
+	}
+	return a
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	for _, dtype := range []DType{Float32, Float64} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "c.dasf")
+		want := smoothArray(12, 300)
+		if err := WriteDataCompressed(path, testMeta(), nil, want, dtype); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Info().Layout != ChunkedDeflate {
+			t.Fatalf("layout = %v", r.Info().Layout)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			expect := want.Data[i]
+			if dtype == Float32 {
+				expect = float64(float32(expect))
+			}
+			if got.Data[i] != expect {
+				t.Fatalf("dtype=%v: data[%d] = %v, want %v", dtype, i, got.Data[i], expect)
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestChunkedSlabMatchesContiguous(t *testing.T) {
+	dir := t.TempDir()
+	src := smoothArray(10, 200)
+	cPath := filepath.Join(dir, "cont.dasf")
+	zPath := filepath.Join(dir, "chunk.dasf")
+	if err := WriteData(cPath, testMeta(), nil, src, Float64); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataCompressed(zPath, testMeta(), nil, src, Float64); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Open(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	rz, err := Open(zPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Close()
+	for _, slab := range [][4]int{{0, 10, 0, 200}, {2, 7, 50, 130}, {9, 10, 199, 200}} {
+		a, err := rc.ReadSlab(slab[0], slab[1], slab[2], slab[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rz.ReadSlab(slab[0], slab[1], slab[2], slab[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("slab %v differs at %d", slab, i)
+			}
+		}
+	}
+}
+
+func TestChunkedCompresses(t *testing.T) {
+	dir := t.TempDir()
+	src := smoothArray(16, 2000)
+	cPath := filepath.Join(dir, "cont.dasf")
+	zPath := filepath.Join(dir, "chunk.dasf")
+	if err := WriteData(cPath, testMeta(), nil, src, Float32); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataCompressed(zPath, testMeta(), nil, src, Float32); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := os.Stat(cPath)
+	zs, _ := os.Stat(zPath)
+	if zs.Size() >= cs.Size() {
+		t.Errorf("chunked file (%d B) not smaller than contiguous (%d B)", zs.Size(), cs.Size())
+	}
+}
+
+func TestChunkedCorruptIndexRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.dasf")
+	if err := WriteDataCompressed(path, testMeta(), nil, smoothArray(4, 50), Float64); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the index: point chunk 1 past EOF.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int(r.Info().DataOffset) + chunkRefSize
+	r.Close()
+	for i := 0; i < 8; i++ {
+		raw[off+i] = 0xFF
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // metadata is fine
+	}
+	defer r2.Close()
+	if _, err := r2.ReadSlab(0, 4, 0, 50); err == nil {
+		t.Error("corrupt chunk index should fail the read")
+	}
+}
+
+func TestChunkedTruncatedChunkRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.dasf")
+	if err := WriteDataCompressed(path, testMeta(), nil, smoothArray(4, 50), Float64); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		// Acceptable: the index bound check may already fire.
+		return
+	}
+	defer r.Close()
+	if _, err := r.ReadAll(); err == nil {
+		t.Error("truncated chunk should fail")
+	}
+}
+
+func TestParallelWriterRejectsChunked(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.dasf")
+	if err := WriteDataCompressed(path, testMeta(), nil, smoothArray(4, 50), Float64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenForWrite(path); err == nil {
+		t.Error("positioned writes into a chunked file must be rejected")
+	}
+}

@@ -1,0 +1,144 @@
+package dasf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// ParallelWriter writes a data file's array region concurrently: the
+// header and metadata are laid down once (CreateData), after which any
+// number of writers may store disjoint channel-row ranges with positioned
+// writes — the in-process analogue of MPI-IO file views, used by the
+// engine's write phase so every rank stores its own output block.
+type ParallelWriter struct {
+	f    *os.File
+	info Info
+
+	mu    sync.Mutex
+	stats IOStats
+}
+
+// CreateData writes the header and global metadata of a new data file and
+// sizes its array region. The array contents are unspecified until writers
+// fill them; Close after all WriteRows calls.
+func CreateData(path string, global Meta, channels, samples int, dtype DType) (*ParallelWriter, error) {
+	if channels <= 0 || samples <= 0 {
+		return nil, fmt.Errorf("dasf: CreateData needs a positive shape, got %d×%d", channels, samples)
+	}
+	if dtype != Float32 && dtype != Float64 {
+		return nil, fmt.Errorf("dasf: CreateData: unknown dtype %d", dtype)
+	}
+	var buf []byte
+	buf = append(buf, encodeHeader(KindData)...)
+	gm := encodeMeta(global)
+	buf = appendUint32(buf, uint32(len(gm)))
+	buf = append(buf, gm...)
+	buf = appendUint32(buf, uint32(channels))
+	buf = appendUint32(buf, uint32(samples))
+	buf = append(buf, byte(dtype))
+	buf = append(buf, byte(Contiguous)) // positioned writes need raw rows
+	buf = appendUint32(buf, 0)          // no per-channel metadata
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dasf: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dasf: %w", err)
+	}
+	dataOffset := int64(len(buf))
+	total := dataOffset + int64(channels)*int64(samples)*int64(dtype.Size())
+	if err := f.Truncate(total); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dasf: %w", err)
+	}
+	return &ParallelWriter{
+		f: f,
+		info: Info{
+			Path: path, Kind: KindData, Global: global,
+			NumChannels: channels, NumSamples: samples,
+			DType: dtype, DataOffset: dataOffset,
+		},
+	}, nil
+}
+
+// OpenForWrite opens an existing data file (typically one laid down by
+// CreateData on another rank) for positioned row writes.
+func OpenForWrite(path string) (*ParallelWriter, error) {
+	info, _, err := ReadInfo(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.Kind != KindData {
+		return nil, fmt.Errorf("dasf: %s: cannot write rows into a %s file", path, info.Kind)
+	}
+	if info.Layout != Contiguous {
+		return nil, fmt.Errorf("dasf: %s: positioned writes need the contiguous layout, file is %s", path, info.Layout)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("dasf: %w", err)
+	}
+	w := &ParallelWriter{f: f, info: info}
+	w.stats.Opens++
+	return w, nil
+}
+
+// Info returns the file's shape and metadata.
+func (w *ParallelWriter) Info() Info { return w.info }
+
+// WriteRows stores rows.Channels full channel rows starting at channel
+// chLo. Concurrent calls for disjoint channel ranges are safe.
+func (w *ParallelWriter) WriteRows(chLo int, rows *Array2D) error {
+	if rows == nil || rows.Channels == 0 {
+		return nil
+	}
+	if rows.Samples != w.info.NumSamples {
+		return fmt.Errorf("dasf: WriteRows needs full rows of %d samples, got %d",
+			w.info.NumSamples, rows.Samples)
+	}
+	if chLo < 0 || chLo+rows.Channels > w.info.NumChannels {
+		return fmt.Errorf("dasf: WriteRows rows [%d,%d) outside %d channels",
+			chLo, chLo+rows.Channels, w.info.NumChannels)
+	}
+	esz := w.info.DType.Size()
+	buf := make([]byte, len(rows.Data)*esz)
+	switch w.info.DType {
+	case Float32:
+		for i, v := range rows.Data {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		}
+	case Float64:
+		for i, v := range rows.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	}
+	off := w.info.DataOffset + int64(chLo)*int64(w.info.NumSamples)*int64(esz)
+	if _, err := w.f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("dasf: %w", err)
+	}
+	w.mu.Lock()
+	w.stats.Writes++
+	w.stats.BytesWritten += int64(len(buf))
+	w.mu.Unlock()
+	return nil
+}
+
+// Stats returns the writer's operation counts.
+func (w *ParallelWriter) Stats() IOStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Close flushes and closes the file.
+func (w *ParallelWriter) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("dasf: %w", err)
+	}
+	return w.f.Close()
+}

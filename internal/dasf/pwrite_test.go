@@ -1,0 +1,177 @@
+package dasf
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestParallelWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.dasf")
+	const nch, nt = 12, 50
+	meta := Meta{KeyTimeStamp: S("170728224510")}
+	pw, err := CreateData(path, meta, nch, nt, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Four concurrent writers, three rows each, out of order.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rows := NewArray2D(3, nt)
+			for r := 0; r < 3; r++ {
+				for tt := 0; tt < nt; tt++ {
+					rows.Set(r, tt, float64((w*3+r)*1000+tt))
+				}
+			}
+			pw, err := OpenForWrite(path)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer pw.Close()
+			errs[w] = pw.WriteRows(w*3, rows)
+		}(3 - w) // reversed order on purpose
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < nch; c++ {
+		for tt := 0; tt < nt; tt++ {
+			want := float64(c*1000 + tt)
+			if got.At(c, tt) != want {
+				t.Fatalf("(%d,%d) = %g, want %g", c, tt, got.At(c, tt), want)
+			}
+		}
+	}
+}
+
+func TestParallelWriteFloat32(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f32.dasf")
+	pw, err := CreateData(path, nil, 2, 4, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := NewArray2D(2, 4)
+	rows.Set(0, 0, 1.5)
+	rows.Set(1, 3, -2.25)
+	if err := pw.WriteRows(0, rows); err != nil {
+		t.Fatal(err)
+	}
+	st := pw.Stats()
+	if st.Writes != 1 || st.BytesWritten != 2*4*4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 1.5 || got.At(1, 3) != -2.25 {
+		t.Errorf("read back %v", got.Data)
+	}
+}
+
+func TestParallelWriteValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CreateData(filepath.Join(dir, "x"), nil, 0, 5, Float64); err == nil {
+		t.Error("zero channels should fail")
+	}
+	if _, err := CreateData(filepath.Join(dir, "x"), nil, 5, 5, DType(9)); err == nil {
+		t.Error("bad dtype should fail")
+	}
+	path := filepath.Join(dir, "v.dasf")
+	pw, err := CreateData(path, nil, 4, 10, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pw.Close()
+	if err := pw.WriteRows(0, NewArray2D(2, 5)); err == nil {
+		t.Error("partial rows should fail")
+	}
+	if err := pw.WriteRows(3, NewArray2D(2, 10)); err == nil {
+		t.Error("overflowing channel range should fail")
+	}
+	if err := pw.WriteRows(0, nil); err != nil {
+		t.Error("nil rows should be a no-op")
+	}
+	// OpenForWrite rejects VCAs and missing files.
+	members := []Member{{Name: "m", NumChannels: 1, NumSamples: 1, Timestamp: 1}}
+	vca := filepath.Join(dir, "v.vca")
+	if err := WriteVCA(vca, nil, Float64, members); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenForWrite(vca); err == nil {
+		t.Error("OpenForWrite on a VCA should fail")
+	}
+	if _, err := OpenForWrite(filepath.Join(dir, "missing")); err == nil {
+		t.Error("OpenForWrite on a missing file should fail")
+	}
+}
+
+func TestCreateDataUnwrittenRegionsAreZero(t *testing.T) {
+	// Truncate-extended regions read as zeros — partially written outputs
+	// are well-defined.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "z.dasf")
+	pw, err := CreateData(path, nil, 3, 5, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := NewArray2D(1, 5)
+	for tt := 0; tt < 5; tt++ {
+		rows.Set(0, tt, 7)
+	}
+	if err := pw.WriteRows(1, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 5; tt++ {
+		if got.At(0, tt) != 0 || got.At(2, tt) != 0 {
+			t.Fatal("unwritten rows should be zero")
+		}
+		if got.At(1, tt) != 7 {
+			t.Fatal("written row lost")
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package dasf
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// IOStats counts the physical operations a Reader or ParallelWriter has
+// issued. The DASSA experiments compare I/O strategies by exactly these
+// counts.
+type IOStats struct {
+	Opens        int64
+	Reads        int64 // distinct read calls (≈ seeks on a disk file system)
+	BytesRead    int64
+	Writes       int64 // distinct positioned write calls
+	BytesWritten int64
+}
+
+// Add accumulates other into s.
+func (s *IOStats) Add(other IOStats) {
+	s.Opens += other.Opens
+	s.Reads += other.Reads
+	s.BytesRead += other.BytesRead
+	s.Writes += other.Writes
+	s.BytesWritten += other.BytesWritten
+}
+
+// Reader reads one DASF file: metadata eagerly, array data on demand via
+// hyperslab requests. It is safe for concurrent ReadSlab calls on
+// contiguous files (ReadAt underneath); chunked readers serialize their
+// index load internally.
+type Reader struct {
+	f     *os.File
+	info  Info
+	stats IOStats
+
+	chunkMu sync.Mutex
+	chunks  []chunkRef // lazily loaded index for chunked files
+}
+
+// chunkRef locates one channel's compressed chunk.
+type chunkRef struct {
+	off  int64
+	clen int
+}
+
+// Open opens path and parses its metadata. The array data is not touched;
+// this is the cheap "metadata-only" access VCA construction relies on.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dasf: %w", err)
+	}
+	r := &Reader{f: f}
+	r.stats.Opens++
+	if err := r.parseInfo(path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// ReadInfo parses a file's metadata and closes it again. Convenience for
+// search and VCA construction, which never need the data.
+func ReadInfo(path string) (Info, IOStats, error) {
+	r, err := Open(path)
+	if err != nil {
+		return Info{}, IOStats{}, err
+	}
+	defer r.Close()
+	return r.Info(), r.Stats(), nil
+}
+
+func (r *Reader) parseInfo(path string) error {
+	// Metadata lives at the front of the file; one bounded read gets it.
+	// 8 KiB covers any realistic global metadata block; the parser re-reads
+	// exactly what it needs if a block is longer.
+	buf := make([]byte, 8*1024)
+	n, err := r.f.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("dasf: %s: %w", path, err)
+	}
+	buf = buf[:n]
+	r.stats.Reads++
+	r.stats.BytesRead += int64(n)
+
+	need := func(k int, what string) error {
+		if k > len(buf) {
+			return fmt.Errorf("dasf: %s: truncated %s", path, what)
+		}
+		return nil
+	}
+	if err := need(headerSize, "header"); err != nil {
+		return err
+	}
+	if string(buf[:4]) != Magic {
+		return fmt.Errorf("dasf: %s: bad magic %q", path, buf[:4])
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != Version {
+		return fmt.Errorf("dasf: %s: unsupported version %d", path, v)
+	}
+	kind := Kind(binary.LittleEndian.Uint16(buf[6:]))
+	pos := headerSize
+
+	if err := need(pos+4, "global metadata length"); err != nil {
+		return err
+	}
+	gmLen := int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	// A corrupt length field must not drive allocation: global metadata
+	// beyond this bound is rejected, not fetched.
+	const maxMetaBytes = 16 << 20
+	if gmLen > maxMetaBytes {
+		return fmt.Errorf("dasf: %s: global metadata declares %d bytes (max %d)", path, gmLen, maxMetaBytes)
+	}
+	if pos+gmLen > len(buf) {
+		// Metadata larger than the probe read: fetch exactly what's needed.
+		bigger := make([]byte, pos+gmLen+4096)
+		n, err = r.f.ReadAt(bigger, 0)
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("dasf: %s: %w", path, err)
+		}
+		buf = bigger[:n]
+		r.stats.Reads++
+		r.stats.BytesRead += int64(n)
+		if pos+gmLen > len(buf) {
+			return fmt.Errorf("dasf: %s: truncated global metadata", path)
+		}
+	}
+	global, used, err := decodeMeta(buf[pos : pos+gmLen])
+	if err != nil {
+		return fmt.Errorf("dasf: %s: %w", path, err)
+	}
+	if used != gmLen {
+		return fmt.Errorf("dasf: %s: global metadata length mismatch (%d vs %d)", path, used, gmLen)
+	}
+	pos += gmLen
+
+	if err := need(pos+9, "shape"); err != nil {
+		return err
+	}
+	nch := int(binary.LittleEndian.Uint32(buf[pos:]))
+	nt := int(binary.LittleEndian.Uint32(buf[pos+4:]))
+	dtype := DType(buf[pos+8])
+	pos += 9
+	if dtype != Float32 && dtype != Float64 {
+		return fmt.Errorf("dasf: %s: unknown dtype %d", path, dtype)
+	}
+	if nch <= 0 || nt <= 0 {
+		return fmt.Errorf("dasf: %s: invalid shape %d×%d", path, nch, nt)
+	}
+
+	r.info = Info{Path: path, Kind: kind, Global: global, NumChannels: nch, NumSamples: nt, DType: dtype}
+
+	switch kind {
+	case KindData:
+		if err := need(pos+1, "layout"); err != nil {
+			return err
+		}
+		layout := Layout(buf[pos])
+		pos++
+		if layout != Contiguous && layout != ChunkedDeflate {
+			return fmt.Errorf("dasf: %s: unknown layout %d", path, layout)
+		}
+		r.info.Layout = layout
+		if err := need(pos+4, "per-channel metadata length"); err != nil {
+			return err
+		}
+		pcmLen := int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+		if pcmLen > 0 {
+			r.info.PerChannelOffset = int64(pos)
+		}
+		r.info.DataOffset = int64(pos + pcmLen)
+		// Validate the file is long enough for the declared array region.
+		st, err := r.f.Stat()
+		if err != nil {
+			return fmt.Errorf("dasf: %s: %w", path, err)
+		}
+		var want int64
+		if layout == Contiguous {
+			want = r.info.DataOffset + int64(nch)*int64(nt)*int64(dtype.Size())
+		} else {
+			want = r.info.DataOffset + int64(nch)*chunkRefSize // index at minimum
+		}
+		if st.Size() < want {
+			return fmt.Errorf("dasf: %s: file is %d bytes, array needs %d", path, st.Size(), want)
+		}
+	case KindVCA:
+		if err := need(pos+4, "member count"); err != nil {
+			return err
+		}
+		nm := int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+		if nm == 0 {
+			return fmt.Errorf("dasf: %s: VCA with zero members", path)
+		}
+		// Each member record needs ≥ 18 bytes; a count beyond what the
+		// buffer could hold is corruption, and allocation is bounded by the
+		// buffer size either way.
+		if nm > (len(buf)-pos)/18+1 {
+			return fmt.Errorf("dasf: %s: VCA declares %d members, buffer holds at most %d",
+				path, nm, (len(buf)-pos)/18+1)
+		}
+		dir := filepath.Dir(path)
+		members := make([]Member, nm)
+		for i := range members {
+			if err := need(pos+2, "member name length"); err != nil {
+				return err
+			}
+			nameLen := int(binary.LittleEndian.Uint16(buf[pos:]))
+			pos += 2
+			if err := need(pos+nameLen+16, "member record"); err != nil {
+				return err
+			}
+			name := string(buf[pos : pos+nameLen])
+			pos += nameLen
+			if !filepath.IsAbs(name) {
+				name = filepath.Join(dir, name)
+			}
+			members[i] = Member{
+				Name:        name,
+				NumChannels: int(binary.LittleEndian.Uint32(buf[pos:])),
+				NumSamples:  int(binary.LittleEndian.Uint32(buf[pos+4:])),
+				Timestamp:   int64(binary.LittleEndian.Uint64(buf[pos+8:])),
+			}
+			pos += 16
+		}
+		r.info.Members = members
+	default:
+		return fmt.Errorf("dasf: %s: unknown kind %d", path, kind)
+	}
+	return nil
+}
+
+// Info returns the file's parsed metadata.
+func (r *Reader) Info() Info { return r.info }
+
+// Stats returns the I/O operation counts issued so far.
+func (r *Reader) Stats() IOStats { return r.stats }
+
+// Close releases the file handle.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// PerChannelMeta reads and decodes the per-channel metadata block. Returns
+// nil if the file has none.
+func (r *Reader) PerChannelMeta() ([]Meta, error) {
+	if r.info.Kind != KindData || r.info.PerChannelOffset == 0 {
+		return nil, nil
+	}
+	length := r.info.DataOffset - r.info.PerChannelOffset
+	buf := make([]byte, length)
+	if _, err := r.f.ReadAt(buf, r.info.PerChannelOffset); err != nil {
+		return nil, fmt.Errorf("dasf: %s: %w", r.info.Path, err)
+	}
+	r.stats.Reads++
+	r.stats.BytesRead += length
+	out := make([]Meta, 0, r.info.NumChannels)
+	pos := 0
+	for c := 0; c < r.info.NumChannels; c++ {
+		m, used, err := decodeMeta(buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("dasf: %s: channel %d metadata: %w", r.info.Path, c, err)
+		}
+		pos += used
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ReadSlab reads the hyperslab [chLo, chHi) × [tLo, tHi) from a data file.
+// A request spanning the full time range is satisfied with a single
+// contiguous read (the access pattern the communication-avoiding method
+// exploits); otherwise one read per channel row is issued.
+func (r *Reader) ReadSlab(chLo, chHi, tLo, tHi int) (*Array2D, error) {
+	if r.info.Kind != KindData {
+		return nil, fmt.Errorf("dasf: %s: ReadSlab on a %s file (resolve VCA members first)",
+			r.info.Path, r.info.Kind)
+	}
+	nch, nt := r.info.NumChannels, r.info.NumSamples
+	if chLo < 0 || chHi > nch || chLo >= chHi || tLo < 0 || tHi > nt || tLo >= tHi {
+		return nil, fmt.Errorf("dasf: %s: slab [%d:%d)×[%d:%d) out of bounds %d×%d",
+			r.info.Path, chLo, chHi, tLo, tHi, nch, nt)
+	}
+	esz := r.info.DType.Size()
+	out := NewArray2D(chHi-chLo, tHi-tLo)
+	if r.info.Layout == ChunkedDeflate {
+		return out, r.readSlabChunked(out, chLo, chHi, tLo, tHi)
+	}
+	if tLo == 0 && tHi == nt {
+		// Contiguous: all requested channels in one read call.
+		nbytes := int64(chHi-chLo) * int64(nt) * int64(esz)
+		buf := make([]byte, nbytes)
+		off := r.info.DataOffset + int64(chLo)*int64(nt)*int64(esz)
+		if _, err := r.f.ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("dasf: %s: %w", r.info.Path, err)
+		}
+		r.stats.Reads++
+		r.stats.BytesRead += nbytes
+		decodeSamples(out.Data, buf, r.info.DType)
+		return out, nil
+	}
+	rowBytes := (tHi - tLo) * esz
+	buf := make([]byte, rowBytes)
+	for c := chLo; c < chHi; c++ {
+		off := r.info.DataOffset + (int64(c)*int64(nt)+int64(tLo))*int64(esz)
+		if _, err := r.f.ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("dasf: %s: channel %d: %w", r.info.Path, c, err)
+		}
+		r.stats.Reads++
+		r.stats.BytesRead += int64(rowBytes)
+		decodeSamples(out.Row(c-chLo), buf, r.info.DType)
+	}
+	return out, nil
+}
+
+// ReadAll reads the entire array with one contiguous read.
+func (r *Reader) ReadAll() (*Array2D, error) {
+	return r.ReadSlab(0, r.info.NumChannels, 0, r.info.NumSamples)
+}
+
+// loadChunkIndex reads and caches the chunk index of a chunked file.
+func (r *Reader) loadChunkIndex() ([]chunkRef, error) {
+	r.chunkMu.Lock()
+	defer r.chunkMu.Unlock()
+	if r.chunks != nil {
+		return r.chunks, nil
+	}
+	nch := r.info.NumChannels
+	buf := make([]byte, nch*chunkRefSize)
+	if _, err := r.f.ReadAt(buf, r.info.DataOffset); err != nil {
+		return nil, fmt.Errorf("dasf: %s: chunk index: %w", r.info.Path, err)
+	}
+	r.stats.Reads++
+	r.stats.BytesRead += int64(len(buf))
+	st, err := r.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("dasf: %s: %w", r.info.Path, err)
+	}
+	chunks := make([]chunkRef, nch)
+	for c := range chunks {
+		off := int64(binary.LittleEndian.Uint64(buf[c*chunkRefSize:]))
+		clen := int(binary.LittleEndian.Uint32(buf[c*chunkRefSize+8:]))
+		if off < r.info.DataOffset || clen < 0 || off+int64(clen) > st.Size() {
+			return nil, fmt.Errorf("dasf: %s: chunk %d index out of bounds", r.info.Path, c)
+		}
+		chunks[c] = chunkRef{off: off, clen: clen}
+	}
+	r.chunks = chunks
+	return chunks, nil
+}
+
+// readSlabChunked fills out from a chunked file: one chunk read +
+// decompression per requested channel.
+func (r *Reader) readSlabChunked(out *Array2D, chLo, chHi, tLo, tHi int) error {
+	chunks, err := r.loadChunkIndex()
+	if err != nil {
+		return err
+	}
+	esz := r.info.DType.Size()
+	rowBytes := r.info.NumSamples * esz
+	raw := make([]byte, rowBytes)
+	for c := chLo; c < chHi; c++ {
+		ref := chunks[c]
+		comp := make([]byte, ref.clen)
+		if _, err := r.f.ReadAt(comp, ref.off); err != nil {
+			return fmt.Errorf("dasf: %s: chunk %d: %w", r.info.Path, c, err)
+		}
+		r.stats.Reads++
+		r.stats.BytesRead += int64(ref.clen)
+		fr := flate.NewReader(bytes.NewReader(comp))
+		if _, err := io.ReadFull(fr, raw); err != nil {
+			fr.Close()
+			return fmt.Errorf("dasf: %s: chunk %d decompress: %w", r.info.Path, c, err)
+		}
+		fr.Close()
+		decodeSamples(out.Row(c-chLo), raw[tLo*esz:tHi*esz], r.info.DType)
+	}
+	return nil
+}
+
+// decodeSamples converts little-endian on-disk samples into float64s.
+func decodeSamples(dst []float64, src []byte, dtype DType) {
+	switch dtype {
+	case Float32:
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:])))
+		}
+	case Float64:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package dasf
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenNeverPanicsOnCorruptInput mutates valid files randomly and
+// asserts the parser either succeeds or errors — never panics or hangs.
+// Storage-side corruption is a fact of life for year-long DAS archives.
+func TestOpenNeverPanicsOnCorruptInput(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.dasf")
+	a := NewArray2D(6, 40)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	meta := Meta{
+		KeySamplingFrequency: I(500),
+		KeyTimeStamp:         S("170728224510"),
+		"Experiment":         S("robustness"),
+	}
+	pcm := make([]Meta, 6)
+	for c := range pcm {
+		pcm[c] = Meta{"DistanceAlongFiber(m)": F(float64(c))}
+	}
+	if err := WriteData(base, meta, pcm, a, Float32); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vcaBase := filepath.Join(dir, "base.vca")
+	members := []Member{{Name: "base.dasf", NumChannels: 6, NumSamples: 40, Timestamp: 170728224510}}
+	if err := WriteVCA(vcaBase, meta, Float32, members); err != nil {
+		t.Fatal(err)
+	}
+	origVCA, err := os.ReadFile(vcaBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	try := func(name string, content []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: Open panicked: %v", name, r)
+			}
+		}()
+		r, err := Open(p)
+		if err == nil {
+			// A survivable mutation: exercise the read paths too.
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("%s: read panicked: %v", name, rec)
+					}
+				}()
+				info := r.Info()
+				if info.Kind == KindData {
+					r.ReadSlab(0, min(info.NumChannels, 2), 0, min(info.NumSamples, 5))
+					r.PerChannelMeta()
+				}
+			}()
+			r.Close()
+		}
+	}
+
+	for i := 0; i < 120; i++ {
+		for srcName, src := range map[string][]byte{"data": orig, "vca": origVCA} {
+			mut := make([]byte, len(src))
+			copy(mut, src)
+			// 1-8 random byte flips.
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+			}
+			try(srcName+"_mut.dasf", mut)
+			// Random truncation.
+			try(srcName+"_trunc.dasf", mut[:rng.Intn(len(mut))])
+		}
+	}
+}
+
+// TestVCAWithCorruptMember: the VCA opens fine (metadata only), the read
+// fails cleanly when a member is corrupt.
+func TestVCAWithCorruptMember(t *testing.T) {
+	dir := t.TempDir()
+	member := filepath.Join(dir, "m.dasf")
+	a := NewArray2D(4, 10)
+	if err := WriteData(member, Meta{KeyTimeStamp: S("170728224510")}, nil, a, Float64); err != nil {
+		t.Fatal(err)
+	}
+	vca := filepath.Join(dir, "v.dasf")
+	if err := WriteVCA(vca, nil, Float64, []Member{
+		{Name: "m.dasf", NumChannels: 4, NumSamples: 10, Timestamp: 170728224510},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the member's magic.
+	if err := os.WriteFile(member, []byte("GARBAGEGARBAGE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(vca)
+	if err != nil {
+		t.Fatalf("VCA open should still succeed (metadata only): %v", err)
+	}
+	defer r.Close()
+	if _, err := Open(r.Info().Members[0].Name); err == nil {
+		t.Error("corrupt member should fail to open")
+	}
+}

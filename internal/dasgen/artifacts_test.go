@@ -1,0 +1,101 @@
+package dasgen
+
+import (
+	"testing"
+
+	"dassa/internal/dasf"
+)
+
+func TestDeadChannelsAreZero(t *testing.T) {
+	cfg := Config{
+		Channels: 8, SampleRate: 50, FileSeconds: 2, NumFiles: 2,
+		Seed: 6, DeadChannels: []int{2, 5, 99, -1}, // out-of-range ignored
+	}
+	for idx := 0; idx < 2; idx++ {
+		a, err := GenerateFileArray(cfg, Fig10Events(cfg), idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range []int{2, 5} {
+			for _, v := range a.Row(ch) {
+				if v != 0 {
+					t.Fatalf("dead channel %d has sample %g", ch, v)
+				}
+			}
+		}
+		// Live channels still carry signal.
+		live := 0.0
+		for _, v := range a.Row(3) {
+			live += v * v
+		}
+		if live == 0 {
+			t.Fatal("live channel is silent")
+		}
+	}
+}
+
+func TestGlitchIsLocalAndContinuous(t *testing.T) {
+	cfg := Config{
+		Channels: 6, SampleRate: 50, FileSeconds: 2, NumFiles: 2,
+		Seed: 6, NoiseAmp: 1e-9,
+	}
+	g := Glitch{Channel: 3, StartSec: 1.5, DurSec: 1.0, Amp: 5} // spans the file boundary
+	f0, err := GenerateFileArray(cfg, []Event{g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := GenerateFileArray(cfg, []Event{g}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy on channel 3 in [1.5, 2.0)s of file 0 and [2.0, 2.5)s of file 1.
+	e0 := 0.0
+	for _, v := range f0.Row(3)[75:100] {
+		e0 += v * v
+	}
+	e1 := 0.0
+	for _, v := range f1.Row(3)[0:25] {
+		e1 += v * v
+	}
+	if e0 < 1 || e1 < 1 {
+		t.Errorf("glitch energy missing across boundary: %g / %g", e0, e1)
+	}
+	// Other channels untouched.
+	for _, v := range f0.Row(2) {
+		if v > 1e-6 || v < -1e-6 {
+			t.Fatal("glitch leaked to another channel")
+		}
+	}
+	// Continuity: the same absolute samples from a double-length file match.
+	long := cfg
+	long.FileSeconds = 4
+	long.NumFiles = 1
+	whole, err := GenerateFileArray(long, []Event{g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance: the tiny per-file background noise differs between the
+	// two configurations; only the glitch itself must match.
+	for tt := 75; tt < 100; tt++ {
+		if d := f0.At(3, tt) - whole.At(3, tt); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("glitch differs at sample %d", tt)
+		}
+	}
+	for tt := 0; tt < 25; tt++ {
+		if d := f1.At(3, tt) - whole.At(3, tt+100); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("glitch differs across boundary at sample %d", tt)
+		}
+	}
+	if g.Describe() == "" {
+		t.Error("Describe broken")
+	}
+	// Out-of-range channel is a no-op.
+	bad := Glitch{Channel: 99, StartSec: 0, DurSec: 1, Amp: 5}
+	arr := dasf.NewArray2D(2, 10)
+	bad.AddTo(arr, cfg, 0)
+	for _, v := range arr.Data {
+		if v != 0 {
+			t.Fatal("out-of-range glitch wrote data")
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package dasgen
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dassa/internal/dasf"
+)
+
+func smallCfg() Config {
+	return Config{
+		Channels:    32,
+		SampleRate:  100,
+		FileSeconds: 2,
+		NumFiles:    3,
+		Seed:        42,
+		DType:       dasf.Float32,
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	cfg := smallCfg()
+	if got := cfg.SamplesPerFile(); got != 200 {
+		t.Errorf("SamplesPerFile = %d, want 200", got)
+	}
+	if got := cfg.TotalSamples(); got != 600 {
+		t.Errorf("TotalSamples = %d, want 600", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Channels: -1, SampleRate: 100, FileSeconds: 1, NumFiles: 1},
+		{Channels: 4, SampleRate: 0, FileSeconds: 1, NumFiles: 1},
+		{Channels: 4, SampleRate: 100, FileSeconds: 1, NumFiles: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateFileArray(cfg, nil, 0); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := GenerateFileArray(smallCfg(), nil, 99); err == nil {
+		t.Error("out-of-range file index should be rejected")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallCfg()
+	a, err := GenerateFileArray(cfg, Fig10Events(cfg), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFileArray(cfg, Fig10Events(cfg), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("same seed produced different data at %d", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c, err := GenerateFileArray(cfg2, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+// energy returns mean squared amplitude of a channel's row over [lo,hi).
+func energy(a *dasf.Array2D, ch, lo, hi int) float64 {
+	s := 0.0
+	row := a.Row(ch)
+	for _, v := range row[lo:hi] {
+		s += v * v
+	}
+	return s / float64(hi-lo)
+}
+
+func TestEarthquakeMoveout(t *testing.T) {
+	cfg := Config{Channels: 64, SampleRate: 200, FileSeconds: 4, NumFiles: 1, Seed: 1, NoiseAmp: 0.01}
+	eq := Earthquake{OriginSec: 1.0, EpicenterChannel: 32, PVel: 200, SVel: 60, Amp: 10, FreqHz: 8, DurSec: 0.5}
+	a, err := GenerateFileArray(cfg, []Event{eq}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the origin time, every channel is near-quiet.
+	for _, ch := range []int{0, 32, 63} {
+		if e := energy(a, ch, 0, int(0.9*cfg.SampleRate)); e > 0.01 {
+			t.Errorf("channel %d has energy %g before the quake", ch, e)
+		}
+	}
+	// The S arrival at the epicenter is at 1.0s; at channel 0 it is
+	// 1.0 + 32/60 ≈ 1.53s. Energy right after each arrival must be large.
+	arrEpi := int(1.05 * cfg.SampleRate)
+	if e := energy(a, 32, arrEpi, arrEpi+40); e < 1 {
+		t.Errorf("epicenter energy after arrival = %g, want large", e)
+	}
+	arr0 := int((1.0 + 32.0/60.0 + 0.05) * cfg.SampleRate)
+	if e := energy(a, 0, arr0, arr0+40); e < 0.5 {
+		t.Errorf("edge-channel energy after arrival = %g, want large", e)
+	}
+	// And channel 0 must still be quiet between origin and its own arrival
+	// minus the P precursor window... P arrives at 1+32/200=1.16s, so check
+	// window [1.0, 1.15].
+	if e := energy(a, 0, int(1.0*cfg.SampleRate), int(1.14*cfg.SampleRate)); e > 0.05 {
+		t.Errorf("channel 0 energy before P arrival = %g, want quiet", e)
+	}
+}
+
+func TestVehicleSweep(t *testing.T) {
+	cfg := Config{Channels: 100, SampleRate: 100, FileSeconds: 10, NumFiles: 1, Seed: 1, NoiseAmp: 0.01}
+	v := Vehicle{StartSec: 0, StartChannel: 0, Speed: 10, Amp: 5, WidthChannels: 3} // at ch 50 at t=5s
+	a, err := GenerateFileArray(cfg, []Event{v}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Around t=5s, channel 50 is hot and channel 90 is quiet.
+	lo, hi := int(4.8*cfg.SampleRate), int(5.2*cfg.SampleRate)
+	if hot := energy(a, 50, lo, hi); hot < 1 {
+		t.Errorf("channel 50 energy at vehicle pass = %g, want large", hot)
+	}
+	if cold := energy(a, 90, lo, hi); cold > 0.05 {
+		t.Errorf("channel 90 energy while vehicle at 50 = %g, want quiet", cold)
+	}
+	// Later, at t=9s, the vehicle reached channel 90.
+	lo, hi = int(8.8*cfg.SampleRate), int(9.2*cfg.SampleRate)
+	if hot := energy(a, 90, lo, hi); hot < 1 {
+		t.Errorf("channel 90 energy at t=9s = %g, want large", hot)
+	}
+}
+
+func TestVibrationRange(t *testing.T) {
+	cfg := Config{Channels: 20, SampleRate: 100, FileSeconds: 2, NumFiles: 1, Seed: 1, NoiseAmp: 0.01}
+	vib := Vibration{ChannelLo: 5, ChannelHi: 8, FreqHz: 10, Amp: 3}
+	a, err := GenerateFileArray(cfg, []Event{vib}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := energy(a, 6, 0, 200); e < 1 {
+		t.Errorf("in-range channel energy = %g", e)
+	}
+	if e := energy(a, 15, 0, 200); e > 0.05 {
+		t.Errorf("out-of-range channel energy = %g", e)
+	}
+}
+
+func TestEventContinuityAcrossFiles(t *testing.T) {
+	// A vibration must be phase-continuous across the file boundary:
+	// generating files 0 and 1 separately equals generating one double-length
+	// file (noise differs; use zero noise).
+	base := Config{Channels: 4, SampleRate: 100, FileSeconds: 1, NumFiles: 2, Seed: 7, NoiseAmp: 1e-12}
+	vib := Vibration{ChannelLo: 0, ChannelHi: 3, FreqHz: 7, Amp: 1}
+	f0, err := GenerateFileArray(base, []Event{vib}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := GenerateFileArray(base, []Event{vib}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := Config{Channels: 4, SampleRate: 100, FileSeconds: 2, NumFiles: 1, Seed: 7, NoiseAmp: 1e-12}
+	whole, err := GenerateFileArray(long, []Event{vib}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < 4; ch++ {
+		for tt := 0; tt < 100; tt++ {
+			if d := math.Abs(f0.At(ch, tt) - whole.At(ch, tt)); d > 1e-9 {
+				t.Fatalf("file 0 mismatch at (%d,%d): %g", ch, tt, d)
+			}
+			if d := math.Abs(f1.At(ch, tt) - whole.At(ch, tt+100)); d > 1e-9 {
+				t.Fatalf("file 1 mismatch at (%d,%d): %g", ch, tt, d)
+			}
+		}
+	}
+}
+
+func TestTimestampRoundTripProperty(t *testing.T) {
+	f := func(sec int32) bool {
+		base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+		tm := base.Add(time.Duration(int64(sec)%(3*365*24*3600)) * time.Second)
+		if tm.Before(base) {
+			tm = base
+		}
+		ts := TimestampOf(tm)
+		back, err := ParseTimestamp(ts)
+		return err == nil && back.Equal(tm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTimestampRejects(t *testing.T) {
+	for _, ts := range []int64{-1, 1e13, 171300000000 /* month 13 */, 170132000000 /* day 32 */} {
+		if _, err := ParseTimestamp(ts); err == nil {
+			t.Errorf("ParseTimestamp(%d) should fail", ts)
+		}
+	}
+}
+
+func TestGenerateWritesSeries(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallCfg()
+	paths, err := Generate(dir, cfg, Fig10Events(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != cfg.NumFiles {
+		t.Fatalf("wrote %d files, want %d", len(paths), cfg.NumFiles)
+	}
+	var prevTS int64
+	for i, p := range paths {
+		info, _, err := dasf.ReadInfo(p)
+		if err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		if info.NumChannels != cfg.Channels || info.NumSamples != cfg.SamplesPerFile() {
+			t.Errorf("file %d shape %d×%d", i, info.NumChannels, info.NumSamples)
+		}
+		ts := FileTimestamp(cfg, i)
+		if got := info.Global[dasf.KeyTimeStamp].Str; got != filepath.Base(p)[len(cfg.withDefaults().FilePrefix)+1:len(filepath.Base(p))-5] {
+			t.Errorf("file %d: timestamp meta %q doesn't match name %q", i, got, p)
+		}
+		if ts <= prevTS {
+			t.Errorf("file %d timestamp %d not increasing", i, ts)
+		}
+		prevTS = ts
+	}
+	// File timestamps advance by FileSeconds.
+	t0, _ := ParseTimestamp(FileTimestamp(cfg, 0))
+	t1, _ := ParseTimestamp(FileTimestamp(cfg, 1))
+	if d := t1.Sub(t0); d != 2*time.Second {
+		t.Errorf("timestamp gap = %v, want 2s", d)
+	}
+}
+
+func TestFig10EventsPlacement(t *testing.T) {
+	cfg := smallCfg()
+	evs := Fig10Events(cfg)
+	if len(evs) != 4 {
+		t.Fatalf("Fig10Events returned %d events", len(evs))
+	}
+	var vehicles, quakes, vibs int
+	for _, e := range evs {
+		if e.Describe() == "" {
+			t.Error("empty Describe")
+		}
+		switch e.(type) {
+		case Vehicle:
+			vehicles++
+		case Earthquake:
+			quakes++
+		case Vibration:
+			vibs++
+		}
+	}
+	if vehicles != 2 || quakes != 1 || vibs != 1 {
+		t.Errorf("event mix = %d vehicles, %d quakes, %d vibrations", vehicles, quakes, vibs)
+	}
+}

@@ -1,0 +1,59 @@
+package dasgen
+
+import (
+	"testing"
+
+	"dassa/internal/dasf"
+)
+
+func TestPerChannelMetaWritten(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Channels: 5, SampleRate: 50, FileSeconds: 1, NumFiles: 2,
+		Seed: 3, DType: dasf.Float32, PerChannelMeta: true,
+	}
+	paths, err := Generate(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := dasf.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	pcm, err := r.PerChannelMeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcm) != cfg.Channels {
+		t.Fatalf("per-channel metadata for %d channels, want %d", len(pcm), cfg.Channels)
+	}
+	// Figure 4: object paths are /Measurement/1..N, distance is 2 m apart.
+	if got := pcm[0]["Object Path"].Str; got != "/Measurement/1" {
+		t.Errorf("channel 0 object path = %q", got)
+	}
+	if got := pcm[4]["Object Path"].Str; got != "/Measurement/5" {
+		t.Errorf("channel 4 object path = %q", got)
+	}
+	if got := pcm[3]["DistanceAlongFiber(m)"].Float; got != 6.0 {
+		t.Errorf("channel 3 distance = %g, want 6", got)
+	}
+	if got := pcm[0]["Number of raw data"].Int; got != int64(cfg.SamplesPerFile()) {
+		t.Errorf("raw data count = %d, want %d", got, cfg.SamplesPerFile())
+	}
+	// Default: no per-channel metadata.
+	cfg2 := cfg
+	cfg2.PerChannelMeta = false
+	paths2, err := Generate(t.TempDir(), cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dasf.Open(paths2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if m, err := r2.PerChannelMeta(); err != nil || m != nil {
+		t.Errorf("default per-channel metadata = %v, %v; want nil", m, err)
+	}
+}

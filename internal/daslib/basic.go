@@ -1,0 +1,271 @@
+package daslib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Demean subtracts the mean of x, returning a new slice.
+func Demean(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i, v := range x {
+		out[i] = v - mean
+	}
+	return out
+}
+
+// Detrend removes the least-squares straight-line fit from x, matching
+// MATLAB's detrend (the paper's Das_detrend).
+func Detrend(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		return out // a single point detrends to zero
+	}
+	// Fit x[i] ≈ a + b·i by least squares on centered indices.
+	tMean := float64(n-1) / 2
+	var xMean, num, den float64
+	for _, v := range x {
+		xMean += v
+	}
+	xMean /= float64(n)
+	for i, v := range x {
+		dt := float64(i) - tMean
+		num += dt * (v - xMean)
+		den += dt * dt
+	}
+	slope := num / den
+	for i, v := range x {
+		out[i] = v - (xMean + slope*(float64(i)-tMean))
+	}
+	return out
+}
+
+// AbsCorr returns the absolute normalized correlation of two equal-length
+// vectors, |cos θ(c1, c2)| — the paper's Das_abscorr. Zero vectors
+// correlate to 0.
+func AbsCorr(c1, c2 []float64) float64 {
+	checkLen("AbsCorr", len(c2), len(c1))
+	var dot, n1, n2 float64
+	for i := range c1 {
+		dot += c1[i] * c2[i]
+		n1 += c1[i] * c1[i]
+		n2 += c2[i] * c2[i]
+	}
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	return math.Abs(dot) / math.Sqrt(n1*n2)
+}
+
+// AbsCorrComplex is AbsCorr for spectra: |⟨c1, c2⟩| / (‖c1‖‖c2‖).
+func AbsCorrComplex(c1, c2 []complex128) float64 {
+	checkLen("AbsCorrComplex", len(c2), len(c1))
+	var dotRe, dotIm, n1, n2 float64
+	for i := range c1 {
+		a, b := c1[i], c2[i]
+		// conj(a) * b
+		dotRe += real(a)*real(b) + imag(a)*imag(b)
+		dotIm += real(a)*imag(b) - imag(a)*real(b)
+		n1 += real(a)*real(a) + imag(a)*imag(a)
+		n2 += real(b)*real(b) + imag(b)*imag(b)
+	}
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	return math.Hypot(dotRe, dotIm) / math.Sqrt(n1*n2)
+}
+
+// Interp1 linearly interpolates the function defined by (x0, y0) — x0
+// strictly increasing — at the query points x, matching MATLAB's
+// interp1(..., 'linear') with end-value extrapolation clamped
+// (the paper's Das_interp1). It returns an error if x0 is not increasing.
+func Interp1(x0, y0, x []float64) ([]float64, error) {
+	if len(x0) != len(y0) {
+		return nil, fmt.Errorf("daslib: Interp1 x0/y0 lengths differ: %d vs %d", len(x0), len(y0))
+	}
+	if len(x0) == 0 {
+		return nil, fmt.Errorf("daslib: Interp1 needs at least one sample point")
+	}
+	for i := 1; i < len(x0); i++ {
+		if x0[i] <= x0[i-1] {
+			return nil, fmt.Errorf("daslib: Interp1 x0 must be strictly increasing (x0[%d]=%g ≤ x0[%d]=%g)",
+				i, x0[i], i-1, x0[i-1])
+		}
+	}
+	out := make([]float64, len(x))
+	for i, q := range x {
+		switch {
+		case q <= x0[0]:
+			out[i] = y0[0]
+		case q >= x0[len(x0)-1]:
+			out[i] = y0[len(y0)-1]
+		default:
+			// Binary search for the containing interval.
+			lo, hi := 0, len(x0)-1
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				if x0[mid] <= q {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			if q == x0[lo] {
+				// Exact hit: avoid 0·(y0[hi]-y0[lo]), which is NaN when the
+				// difference overflows.
+				out[i] = y0[lo]
+				continue
+			}
+			t := (q - x0[lo]) / (x0[hi] - x0[lo])
+			out[i] = y0[lo] + t*(y0[hi]-y0[lo])
+		}
+	}
+	return out, nil
+}
+
+// MovingAverage returns the centered moving average of x with window
+// 2*half+1, shrinking the window at the edges.
+func MovingAverage(x []float64, half int) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if half <= 0 {
+		copy(out, x)
+		return out
+	}
+	for i := range x {
+		lo := max(i-half, 0)
+		hi := min(i+half, n-1)
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += x[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// RMS returns the root-mean-square amplitude of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Hann returns an n-point Hann window (periodic form for n>1 symmetric
+// definition, as MATLAB's hann(n)).
+func Hann(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		out[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return out
+}
+
+// besselI0 evaluates the zeroth-order modified Bessel function by series.
+func besselI0(x float64) float64 {
+	sum := 1.0
+	term := 1.0
+	half := x / 2
+	for k := 1; k < 64; k++ {
+		term *= (half / float64(k)) * (half / float64(k))
+		sum += term
+		if term < 1e-18*sum {
+			break
+		}
+	}
+	return sum
+}
+
+// Kaiser returns an n-point Kaiser window with shape parameter beta.
+func Kaiser(n int, beta float64) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	denom := besselI0(beta)
+	m := float64(n - 1)
+	for i := range out {
+		t := 2*float64(i)/m - 1
+		out[i] = besselI0(beta*math.Sqrt(1-t*t)) / denom
+	}
+	return out
+}
+
+// Taper applies a cosine (Tukey-style) taper covering frac of each end of
+// x in place and returns x, the standard pre-processing step before
+// spectral analysis of seismic windows.
+func Taper(x []float64, frac float64) []float64 {
+	n := len(x)
+	w := int(frac * float64(n))
+	if w <= 0 || n == 0 {
+		return x
+	}
+	if w > n/2 {
+		w = n / 2
+	}
+	for i := 0; i < w; i++ {
+		g := 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(w)))
+		x[i] *= g
+		x[n-1-i] *= g
+	}
+	return x
+}
+
+// OneBitNormalize replaces each sample by its sign — a standard
+// ambient-noise pre-processing step that suppresses transient bursts.
+func OneBitNormalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		switch {
+		case v > 0:
+			out[i] = 1
+		case v < 0:
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// SpectralWhiten flattens the amplitude spectrum of x (keeping phase),
+// optionally restricted to [loHz, hiHz] at the given rate; outside the band
+// the spectrum is zeroed. Used by ambient-noise interferometry.
+func SpectralWhiten(x []float64, loHz, hiHz, rate float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	spec := FFTReal(x)
+	freqs := FFTFreqs(n, rate)
+	for i, v := range spec {
+		f := math.Abs(freqs[i])
+		mag := math.Hypot(real(v), imag(v))
+		if f < loHz || f > hiHz || mag == 0 {
+			spec[i] = 0
+			continue
+		}
+		spec[i] = v * complex(1/mag, 0)
+	}
+	return IFFTReal(spec)
+}

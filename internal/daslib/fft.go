@@ -1,0 +1,193 @@
+// Package daslib is DASSA's DAS data analysis library: thread-safe,
+// sequential signal-processing kernels whose names and semantics follow the
+// MATLAB signal processing toolbox (the paper's Table II). The hybrid
+// execution engine (internal/haee) parallelizes these kernels over channels;
+// nothing in this package spawns goroutines or holds global state.
+package daslib
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFT computes the discrete Fourier transform of x (any length) and returns
+// a new slice. Power-of-two lengths use an iterative radix-2 Cooley-Tukey;
+// other lengths use Bluestein's chirp-z algorithm, so the cost is
+// O(n log n) for every n. Matches Das_fft in the paper's Table II.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftPow2(out, false)
+		return out
+	}
+	return bluestein(out)
+}
+
+// IFFT computes the inverse DFT with 1/n normalization. Matches Das_ifft.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for i, v := range x {
+		out[i] = cmplx.Conj(v)
+	}
+	if n > 1 {
+		if n&(n-1) == 0 {
+			fftPow2(out, false)
+		} else {
+			out = bluestein(out)
+		}
+	}
+	inv := 1 / float64(n)
+	for i, v := range out {
+		out[i] = cmplx.Conj(v) * complex(inv, 0)
+	}
+	return out
+}
+
+// FFTReal transforms a real signal, returning the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// IFFTReal inverts a spectrum known to come from a real signal, returning
+// the real part (the imaginary residue is numerical noise).
+func IFFTReal(x []complex128) []float64 {
+	c := IFFT(x)
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// twiddleCache holds precomputed unit-circle factors per transform size.
+// DAS pipelines transform the same window length millions of times, so the
+// cache pays for itself immediately; entries are immutable once stored.
+var twiddleCache sync.Map // int -> []complex128
+
+// twiddles returns exp(-2πi·k/n) for k in [0, n/2).
+func twiddles(n int) []complex128 {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		tw[k] = complex(c, s)
+	}
+	actual, _ := twiddleCache.LoadOrStore(n, tw)
+	return actual.([]complex128)
+}
+
+// fftPow2 is an in-place iterative radix-2 Cooley-Tukey transform.
+// len(x) must be a power of two.
+func fftPow2(x []complex128, _ bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := twiddles(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size // index step into the full-size twiddle table
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := tw[k*stride]
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution of chirps.
+func bluestein(x []complex128) []complex128 {
+	n := len(x)
+	m := NextPow2(2*n - 1)
+	// chirp[k] = exp(-iπ k²/n); k² mod 2n avoids precision loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
+		chirp[k] = complex(c, s)
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		bc := cmplx.Conj(chirp[k])
+		b[k] = bc
+		if k > 0 {
+			b[m-k] = bc
+		}
+	}
+	fftPow2(a, false)
+	fftPow2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	// Inverse pow-2 FFT of a.
+	for i := range a {
+		a[i] = cmplx.Conj(a[i])
+	}
+	fftPow2(a, false)
+	inv := 1 / float64(m)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = cmplx.Conj(a[k]) * complex(inv, 0) * chirp[k]
+	}
+	return out
+}
+
+// FFTFreqs returns the frequency (Hz) of each DFT bin for a signal of
+// length n sampled at rate Hz, with negative frequencies in the upper half
+// (MATLAB/NumPy convention).
+func FFTFreqs(n int, rate float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	df := rate / float64(n)
+	half := (n - 1) / 2
+	for i := 0; i <= half; i++ {
+		out[i] = float64(i) * df
+	}
+	for i := half + 1; i < n; i++ {
+		out[i] = float64(i-n) * df
+	}
+	return out
+}
+
+// checkLen panics with a clear message on impossible internal states.
+func checkLen(name string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("daslib: %s: length %d, want %d", name, got, want))
+	}
+}

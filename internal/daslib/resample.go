@@ -1,0 +1,114 @@
+package daslib
+
+import (
+	"fmt"
+	"math"
+)
+
+// gcd returns the greatest common divisor of a and b (both positive).
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Resample changes the sample rate of x by the rational factor p/q using a
+// polyphase anti-aliasing FIR (Kaiser-windowed sinc), matching MATLAB's
+// resample(x, p, q) — the paper's Das_resample. The output has
+// ceil(len(x)*p/q) samples and is group-delay compensated, so y[k]
+// corresponds to x at time k*q/p.
+func Resample(x []float64, p, q int) ([]float64, error) {
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("daslib: Resample factors must be positive, got %d/%d", p, q)
+	}
+	if len(x) == 0 {
+		return []float64{}, nil
+	}
+	g := gcd(p, q)
+	p, q = p/g, q/g
+	if p == 1 && q == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	// Anti-aliasing lowpass at min(π/p, π/q) in the upsampled domain.
+	// MATLAB default: N = 10, Kaiser beta = 5, length 2*N*max(p,q)+1.
+	const nTaps = 10
+	const beta = 5.0
+	maxPQ := max(p, q)
+	half := nTaps * maxPQ
+	length := 2*half + 1
+	fc := 1.0 / float64(2*maxPQ) // cycles/sample in the upsampled domain
+	win := Kaiser(length, beta)
+	h := make([]float64, length)
+	var sum float64
+	for i := range h {
+		t := float64(i - half)
+		var s float64
+		if t == 0 {
+			s = 2 * fc
+		} else {
+			s = math.Sin(2*math.Pi*fc*t) / (math.Pi * t)
+		}
+		h[i] = s * win[i]
+		sum += h[i]
+	}
+	// Normalize DC gain to p (upsampling inserts p-1 zeros, which divides
+	// the signal's amplitude by p before filtering).
+	scale := float64(p) / sum
+	for i := range h {
+		h[i] *= scale
+	}
+
+	outLen := (len(x)*p + q - 1) / q
+	out := make([]float64, outLen)
+	// y[m] = sum_k h[k] · xup[m*q + half - k], where xup[i] = x[i/p] when
+	// i % p == 0. The +half centers the filter, compensating group delay.
+	for m := 0; m < outLen; m++ {
+		center := m*q + half
+		// k must satisfy (center - k) % p == 0 and 0 <= (center-k)/p < len(x).
+		// Walk k over the single polyphase branch.
+		kStart := center % p
+		var acc float64
+		for k := kStart; k < length; k += p {
+			xi := (center - k) / p
+			if xi < 0 {
+				break // xi decreases as k grows? no: center-k decreases; break when negative
+			}
+			if xi >= len(x) {
+				continue
+			}
+			acc += h[k] * x[xi]
+		}
+		out[m] = acc
+	}
+	return out, nil
+}
+
+// Decimate reduces the sample rate by an integer factor r after zero-phase
+// Butterworth lowpass filtering (order 8 at 0.8·Nyquist/r), matching
+// MATLAB's decimate defaults.
+func Decimate(x []float64, r int) ([]float64, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("daslib: Decimate factor must be ≥ 1, got %d", r)
+	}
+	if r == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	b, a, err := Butter(8, Lowpass, 0.8/float64(r))
+	if err != nil {
+		return nil, err
+	}
+	y, err := FiltFilt(b, a, x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, (len(x)+r-1)/r)
+	for i := range out {
+		out[i] = y[i*r]
+	}
+	return out, nil
+}

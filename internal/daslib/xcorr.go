@@ -1,0 +1,87 @@
+package daslib
+
+import (
+	"fmt"
+	"math"
+)
+
+// XCorr computes the full linear cross-correlation of a and b via FFT:
+// out[k] = sum_n a[n+k-(len(b)-1)] · b[n], for lags k-(len(b)-1) in
+// [-(len(b)-1), len(a)-1], matching MATLAB's xcorr(a, b) ordering
+// (negative lags first). Runs in O((n+m) log(n+m)).
+func XCorr(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n := len(a) + len(b) - 1
+	m := NextPow2(n)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	// Correlation = convolution with time-reversed b.
+	for i, v := range b {
+		fb[len(b)-1-i] = complex(v, 0)
+	}
+	fftPow2(fa, false)
+	fftPow2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	inv := IFFT(fa)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = real(inv[i])
+	}
+	return out
+}
+
+// XCorrNormalized is XCorr scaled by 1/√(E_a·E_b), so a perfect alignment
+// of identical signals peaks at 1 (the 'coeff' option of MATLAB's xcorr).
+func XCorrNormalized(a, b []float64) []float64 {
+	out := XCorr(a, b)
+	var ea, eb float64
+	for _, v := range a {
+		ea += v * v
+	}
+	for _, v := range b {
+		eb += v * v
+	}
+	if ea == 0 || eb == 0 {
+		return out
+	}
+	norm := 1 / math.Sqrt(ea*eb)
+	for i := range out {
+		out[i] *= norm
+	}
+	return out
+}
+
+// CrossSpectrum returns FFT(a) ⊙ conj(FFT(b)) zero-padded to a power of two
+// ≥ len(a)+len(b)-1 — the frequency-domain cross-correlation kernel used by
+// ambient-noise interferometry.
+func CrossSpectrum(a, b []float64) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("daslib: CrossSpectrum needs equal lengths, got %d and %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return nil, fmt.Errorf("daslib: CrossSpectrum needs non-empty input")
+	}
+	m := NextPow2(2*len(a) - 1)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i := range a {
+		fa[i] = complex(a[i], 0)
+		fb[i] = complex(b[i], 0)
+	}
+	fftPow2(fa, false)
+	fftPow2(fb, false)
+	for i := range fa {
+		// fa · conj(fb)
+		ar, ai := real(fa[i]), imag(fa[i])
+		br, bi := real(fb[i]), imag(fb[i])
+		fa[i] = complex(ar*br+ai*bi, ai*br-ar*bi)
+	}
+	return fa, nil
+}

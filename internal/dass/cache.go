@@ -1,0 +1,154 @@
+package dass
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dassa/internal/dasf"
+)
+
+// A year-long DAS deployment accumulates hundreds of thousands of files;
+// re-reading every header on each das_search invocation wastes exactly the
+// metadata I/O the tool exists to minimize. ScanDirCached keeps a JSON
+// index next to the data and only re-reads files whose size or
+// modification time changed.
+
+// IndexFileName is the catalog cache written into a dataset directory.
+const IndexFileName = ".dassa_index.json"
+
+// indexEntry is one cached file record.
+type indexEntry struct {
+	Name      string    `json:"name"` // base name, relative to the dir
+	Size      int64     `json:"size"`
+	ModTime   int64     `json:"mtime_ns"`
+	Timestamp int64     `json:"timestamp"`
+	Info      dasf.Info `json:"info"`
+}
+
+type indexFile struct {
+	Version int          `json:"version"`
+	Entries []indexEntry `json:"entries"`
+}
+
+// ScanDirCached builds a catalog like ScanDir, but consults (and rewrites)
+// the directory's index file so unchanged files cost zero metadata reads.
+// The returned catalog's Trace shows only the I/O actually performed.
+func ScanDirCached(dir string) (*Catalog, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dass: %w", err)
+	}
+	cached := map[string]indexEntry{}
+	if raw, err := os.ReadFile(filepath.Join(dir, IndexFileName)); err == nil {
+		var idx indexFile
+		if json.Unmarshal(raw, &idx) == nil && idx.Version == 1 {
+			for _, e := range idx.Entries {
+				cached[e.Name] = e
+			}
+		}
+		// A corrupt or old-version index is simply ignored and rebuilt.
+	}
+
+	c := &Catalog{}
+	c.Trace.Processes = 1
+	var fresh []indexEntry
+	dirty := false
+	seen := map[string]bool{}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".dasf") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			return nil, fmt.Errorf("dass: %w", err)
+		}
+		seen[de.Name()] = true
+		if e, ok := cached[de.Name()]; ok && e.Size == fi.Size() && e.ModTime == fi.ModTime().UnixNano() {
+			// Cache hit: no I/O. Re-root the stored path onto this dir.
+			e.Info.Path = filepath.Join(dir, de.Name())
+			rerootMembers(&e.Info, dir)
+			if e.Info.Kind == dasf.KindData {
+				c.entries = append(c.entries, Entry{Path: e.Info.Path, Info: e.Info, Timestamp: e.Timestamp})
+			}
+			fresh = append(fresh, e)
+			continue
+		}
+		dirty = true
+		path := filepath.Join(dir, de.Name())
+		info, st, err := dasf.ReadInfo(path)
+		if err != nil {
+			return nil, err
+		}
+		c.Trace.Opens += st.Opens
+		c.Trace.Reads += st.Reads
+		c.Trace.BytesRead += st.BytesRead
+		e := indexEntry{
+			Name: de.Name(), Size: fi.Size(), ModTime: fi.ModTime().UnixNano(), Info: info,
+		}
+		if info.Kind == dasf.KindData {
+			ts, err := entryTimestamp(path, info)
+			if err != nil {
+				return nil, err
+			}
+			e.Timestamp = ts
+			c.entries = append(c.entries, Entry{Path: path, Info: info, Timestamp: ts})
+		}
+		fresh = append(fresh, e)
+	}
+	for name := range cached {
+		if !seen[name] {
+			dirty = true // deleted files drop out of the index
+		}
+	}
+
+	sort.Slice(c.entries, func(i, j int) bool {
+		if c.entries[i].Timestamp != c.entries[j].Timestamp {
+			return c.entries[i].Timestamp < c.entries[j].Timestamp
+		}
+		return c.entries[i].Path < c.entries[j].Path
+	})
+
+	if dirty {
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i].Name < fresh[j].Name })
+		// Store member paths relative where possible so the index survives
+		// a directory move.
+		for i := range fresh {
+			fresh[i].Info.Path = fresh[i].Name
+			relMembers(&fresh[i].Info, dir)
+		}
+		raw, err := json.Marshal(indexFile{Version: 1, Entries: fresh})
+		if err != nil {
+			return nil, fmt.Errorf("dass: %w", err)
+		}
+		tmp := filepath.Join(dir, IndexFileName+".tmp")
+		if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+			return nil, fmt.Errorf("dass: %w", err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, IndexFileName)); err != nil {
+			return nil, fmt.Errorf("dass: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// relMembers rewrites absolute member paths under dir as relative names.
+func relMembers(info *dasf.Info, dir string) {
+	for i := range info.Members {
+		if rel, err := filepath.Rel(dir, info.Members[i].Name); err == nil && !strings.HasPrefix(rel, "..") {
+			info.Members[i].Name = rel
+		}
+	}
+}
+
+// rerootMembers resolves relative member names against dir.
+func rerootMembers(info *dasf.Info, dir string) {
+	for i := range info.Members {
+		if !filepath.IsAbs(info.Members[i].Name) {
+			info.Members[i].Name = filepath.Join(dir, info.Members[i].Name)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package dass
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dassa/internal/dasf"
+	"dassa/internal/dasgen"
+)
+
+func TestScanDirCachedHitsAndMisses(t *testing.T) {
+	dir := t.TempDir()
+	cfg := dasgen.Config{
+		Channels: 8, SampleRate: 50, FileSeconds: 1, NumFiles: 6,
+		Seed: 2, DType: dasf.Float64,
+	}
+	paths, err := dasgen.Generate(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold scan reads every header and writes the index.
+	c1, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Len() != 6 {
+		t.Fatalf("cold scan found %d files", c1.Len())
+	}
+	if c1.Trace.Opens != 6 {
+		t.Errorf("cold scan opens = %d, want 6", c1.Trace.Opens)
+	}
+	if _, err := os.Stat(filepath.Join(dir, IndexFileName)); err != nil {
+		t.Fatalf("index not written: %v", err)
+	}
+
+	// Warm scan: zero metadata I/O, identical catalog.
+	c2, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Trace.Opens != 0 || c2.Trace.BytesRead != 0 {
+		t.Errorf("warm scan did I/O: %+v", c2.Trace)
+	}
+	if c2.Len() != c1.Len() {
+		t.Fatalf("warm scan found %d files", c2.Len())
+	}
+	for i := range c1.Entries() {
+		a, b := c1.Entries()[i], c2.Entries()[i]
+		if a.Path != b.Path || a.Timestamp != b.Timestamp ||
+			a.Info.NumChannels != b.Info.NumChannels || a.Info.DataOffset != b.Info.DataOffset {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// Cached entries are usable for real reads.
+	v, err := NewView(c2.Entries()[0].Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Read(); err != nil {
+		t.Fatalf("read through cached info: %v", err)
+	}
+
+	// A modified file is re-read.
+	victim := paths[2]
+	a2, err := dasgen.GenerateFileArray(cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite with different dtype so size changes.
+	info, _, err := dasf.ReadInfo(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dasf.WriteData(victim, info.Global, nil, a2, dasf.Float32); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Trace.Opens != 1 {
+		t.Errorf("modified-file scan opens = %d, want 1", c3.Trace.Opens)
+	}
+
+	// A deleted file disappears.
+	if err := os.Remove(paths[5]); err != nil {
+		t.Fatal(err)
+	}
+	c4, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Len() != 5 {
+		t.Errorf("after delete: %d files, want 5", c4.Len())
+	}
+}
+
+func TestScanDirCachedCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	cfg := dasgen.Config{
+		Channels: 4, SampleRate: 50, FileSeconds: 1, NumFiles: 2,
+		Seed: 2, DType: dasf.Float64,
+	}
+	if _, err := dasgen.Generate(dir, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, IndexFileName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("corrupt index: found %d files", c.Len())
+	}
+	// Index is rebuilt and the next scan is warm.
+	c2, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Trace.Opens != 0 {
+		t.Errorf("rebuilt index not used: opens = %d", c2.Trace.Opens)
+	}
+}
+
+func TestScanDirCachedNewFilesAppear(t *testing.T) {
+	dir := t.TempDir()
+	cfg := dasgen.Config{
+		Channels: 4, SampleRate: 50, FileSeconds: 1, NumFiles: 2,
+		Seed: 9, DType: dasf.Float64,
+	}
+	if _, err := dasgen.Generate(dir, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanDirCached(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The instrument writes a new minute.
+	cfg3 := cfg
+	cfg3.NumFiles = 3
+	a, err := dasgen.GenerateFileArray(cfg3, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, dasgen.FileName(cfg3, 2))
+	meta := dasf.Meta{
+		dasf.KeyTimeStamp:         dasf.S(timeStampStr(cfg3, 2)),
+		dasf.KeySamplingFrequency: dasf.I(50),
+	}
+	if err := dasf.WriteData(newPath, meta, nil, a, dasf.Float64); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Errorf("new file not picked up: %d files", c.Len())
+	}
+	if c.Trace.Opens != 1 {
+		t.Errorf("incremental scan opens = %d, want 1", c.Trace.Opens)
+	}
+	// Time ordering is preserved.
+	entries := c.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Timestamp <= entries[i-1].Timestamp {
+			t.Error("catalog not time-sorted after incremental scan")
+		}
+	}
+	_ = time.Now() // keep the time import for mtime-based semantics
+}
+
+func timeStampStr(cfg dasgen.Config, idx int) string {
+	return filepathBaseTimestamp(dasgen.FileName(cfg, idx))
+}
+
+// filepathBaseTimestamp extracts the 12-digit timestamp from a file name.
+func filepathBaseTimestamp(name string) string {
+	return timestampRe.FindString(name)
+}

@@ -1,0 +1,223 @@
+package dass
+
+import (
+	"fmt"
+
+	"dassa/internal/dasf"
+	"dassa/internal/mpi"
+	"dassa/internal/pfs"
+)
+
+// Partition splits n items into p near-equal contiguous blocks and returns
+// block rank's bounds. The DASSA analysis partitions channels this way.
+func Partition(n, p, rank int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Block is one rank's share of a parallel read: channels [ChLo, ChHi) of
+// the view, over the view's entire time extent.
+type Block struct {
+	Data *dasf.Array2D
+	// ChLo and ChHi are view-relative channel bounds of this rank's block.
+	ChLo, ChHi int
+}
+
+// traceVec flattens a trace for an MPI reduction.
+func traceVec(tr pfs.Trace) []int64 {
+	return []int64{tr.Opens, tr.Reads, tr.BytesRead, tr.Writes, tr.BytesWritten,
+		tr.Broadcasts, tr.BcastBytes, tr.ExchangeRounds, tr.ExchangeBytes}
+}
+
+// reduceTrace sums per-rank traces to rank 0. Other ranks get a zero trace.
+func reduceTrace(c *mpi.Comm, tr pfs.Trace) pfs.Trace {
+	sum := mpi.Reduce(c, 0, traceVec(tr), mpi.SumI64)
+	if c.Rank() != 0 {
+		return pfs.Trace{}
+	}
+	return pfs.Trace{
+		Opens: sum[0], Reads: sum[1], BytesRead: sum[2], Writes: sum[3], BytesWritten: sum[4],
+		Broadcasts: sum[5], BcastBytes: sum[6], ExchangeRounds: sum[7], ExchangeBytes: sum[8],
+		Processes: c.Size(),
+	}
+}
+
+// ReadIndependent is the naive parallel strategy: every rank reads its own
+// channel block straight from the underlying file(s) with independent
+// hyperslab requests. On an RCA (one big file) this is the standard
+// optimized pattern; on a VCA it issues O(p×n) small requests — the
+// pathology §IV-B describes. Returns each rank's block; the globally
+// reduced trace is returned on rank 0.
+//
+// Like all the parallel readers, an I/O failure panics: the whole world
+// must abort together (mpi.Run reports it as a *mpi.RankError), because a
+// rank that bailed out quietly would deadlock its peers at the next
+// collective.
+func ReadIndependent(c *mpi.Comm, v *View) (Block, pfs.Trace) {
+	nch, _ := v.Shape()
+	lo, hi := Partition(nch, c.Size(), c.Rank())
+	blk := Block{ChLo: lo, ChHi: hi}
+	var local pfs.Trace
+	if lo < hi {
+		sub, err := v.SubsetChannels(lo, hi)
+		if err != nil {
+			panic(fmt.Sprintf("dass: independent read: %v", err))
+		}
+		data, tr, err := sub.Read()
+		if err != nil {
+			panic(fmt.Sprintf("dass: independent read: %v", err))
+		}
+		blk.Data = data
+		local = tr
+	}
+	return blk, reduceTrace(c, local)
+}
+
+// ReadCollectivePerFile is the baseline from Figure 5a: all processes share
+// each member file one at a time; an aggregator rank reads the file's slab
+// with one large request and broadcasts it, and every rank keeps its own
+// channel rows. One broadcast per file is exactly the cost the paper
+// blames for this method's poor scaling.
+func ReadCollectivePerFile(c *mpi.Comm, v *View) (Block, pfs.Trace) {
+	p := c.Size()
+	nch, nt := v.Shape()
+	lo, hi := Partition(nch, p, c.Rank())
+	blk := Block{ChLo: lo, ChHi: hi, Data: dasf.NewArray2D(hi-lo, nt)}
+	var local pfs.Trace
+	for _, sp := range v.memberSpans() {
+		root := sp.idx % p
+		var flat []float64
+		width := sp.tHi - sp.tLo
+		if c.Rank() == root {
+			r, err := dasf.Open(v.memberPath(sp.idx))
+			if err != nil {
+				panic(fmt.Sprintf("dass: collective read: %v", err))
+			}
+			part, err := r.ReadSlab(v.chLo, v.chHi, sp.tLo, sp.tHi)
+			st := r.Stats()
+			r.Close()
+			if err != nil {
+				panic(fmt.Sprintf("dass: collective read: %v", err))
+			}
+			local.Opens += st.Opens
+			local.Reads += st.Reads
+			local.BytesRead += st.BytesRead
+			flat = part.Data
+			local.Broadcasts++
+			local.BcastBytes += int64(len(flat)) * 8
+		}
+		flat = mpi.Bcast(c, root, flat)
+		// Keep only this rank's channel rows.
+		for ch := lo; ch < hi; ch++ {
+			src := flat[ch*width : (ch+1)*width]
+			dst := blk.Data.Row(ch - lo)
+			copy(dst[sp.destOff:sp.destOff+width], src)
+		}
+	}
+	return blk, reduceTrace(c, local)
+}
+
+// ReadCommAvoiding is the paper's communication-avoiding method (Figure
+// 5b): member files are dealt round-robin to ranks; each rank reads its
+// whole file with a single contiguous request, and one all-to-all exchange
+// per round redistributes channel rows so every rank ends up with its
+// channel block over the full time axis. For n files on p ranks this is
+// O(n) large reads and O(n/p) exchanges — no broadcasts at all.
+func ReadCommAvoiding(c *mpi.Comm, v *View) (Block, pfs.Trace) {
+	p := c.Size()
+	rank := c.Rank()
+	nch, nt := v.Shape()
+	lo, hi := Partition(nch, p, rank)
+	blk := Block{ChLo: lo, ChHi: hi, Data: dasf.NewArray2D(hi-lo, nt)}
+	var local pfs.Trace
+	spans := v.memberSpans()
+	rounds := (len(spans) + p - 1) / p
+	for r := 0; r < rounds; r++ {
+		myIdx := r*p + rank
+		var mine *dasf.Array2D
+		if myIdx < len(spans) {
+			sp := spans[myIdx]
+			rd, err := dasf.Open(v.memberPath(sp.idx))
+			if err != nil {
+				panic(fmt.Sprintf("dass: comm-avoiding read: %v", err))
+			}
+			part, err := rd.ReadSlab(v.chLo, v.chHi, sp.tLo, sp.tHi)
+			st := rd.Stats()
+			rd.Close()
+			if err != nil {
+				panic(fmt.Sprintf("dass: comm-avoiding read: %v", err))
+			}
+			local.Opens += st.Opens
+			local.Reads += st.Reads
+			local.BytesRead += st.BytesRead
+			mine = part
+		}
+		// Personalized exchange: destination d gets its channel rows from
+		// my file.
+		send := make([][]float64, p)
+		for d := 0; d < p; d++ {
+			if mine == nil {
+				continue
+			}
+			dLo, dHi := Partition(nch, p, d)
+			if dLo >= dHi {
+				continue
+			}
+			rows := make([]float64, 0, (dHi-dLo)*mine.Samples)
+			for ch := dLo; ch < dHi; ch++ {
+				rows = append(rows, mine.Row(ch)...)
+			}
+			send[d] = rows
+			if d != rank {
+				local.ExchangeBytes += int64(len(rows)) * 8
+			}
+		}
+		if rank == 0 {
+			local.ExchangeRounds += int64(p - 1)
+		}
+		recv := mpi.Alltoallv(c, send)
+		// Place every source's contribution at its file's time offset.
+		for s := 0; s < p; s++ {
+			srcIdx := r*p + s
+			if srcIdx >= len(spans) || len(recv[s]) == 0 {
+				continue
+			}
+			sp := spans[srcIdx]
+			width := sp.tHi - sp.tLo
+			for ch := lo; ch < hi; ch++ {
+				rowOff := (ch - lo) * width
+				dst := blk.Data.Row(ch - lo)
+				copy(dst[sp.destOff:sp.destOff+width], recv[s][rowOff:rowOff+width])
+			}
+		}
+	}
+	return blk, reduceTrace(c, local)
+}
+
+// GatherBlocks reassembles per-rank blocks into the full view array on rank
+// 0 (nil elsewhere). Used by tests and by writers of final results.
+func GatherBlocks(c *mpi.Comm, v *View, blk Block) *dasf.Array2D {
+	nch, nt := v.Shape()
+	var flat []float64
+	if blk.Data != nil {
+		flat = blk.Data.Data
+	}
+	parts := mpi.Gather(c, 0, flat)
+	if c.Rank() != 0 {
+		return nil
+	}
+	out := dasf.NewArray2D(nch, nt)
+	for rank, part := range parts {
+		lo, hi := Partition(nch, c.Size(), rank)
+		for ch := lo; ch < hi; ch++ {
+			copy(out.Row(ch), part[(ch-lo)*nt:(ch-lo+1)*nt])
+		}
+	}
+	return out
+}

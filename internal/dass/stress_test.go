@@ -1,0 +1,100 @@
+package dass
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dassa/internal/dasf"
+	"dassa/internal/mpi"
+)
+
+// TestCommAvoidingAtPaperRankCount runs the communication-avoiding reader
+// at the paper's 90-process width (goroutine ranks make this cheap) and
+// checks both correctness and the O(n/p)-rounds trace shape.
+func TestCommAvoidingAtPaperRankCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	dir, cat, _ := makeSeries(t, 180, 12) // 180 channels so 90 ranks get 2 each
+	vcaPath := filepath.Join(dir, "v.dasf")
+	if _, err := CreateVCA(vcaPath, cat.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenView(vcaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := v.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 90
+	var got *dasf.Array2D
+	var tr struct{ opens, bcasts, rounds int64 }
+	_, err = mpi.Run(p, func(c *mpi.Comm) {
+		blk, trace := ReadCommAvoiding(c, v)
+		if a := GatherBlocks(c, v, blk); a != nil {
+			got = a
+		}
+		if c.Rank() == 0 {
+			tr.opens = trace.Opens
+			tr.bcasts = trace.Broadcasts
+			tr.rounds = trace.ExchangeRounds
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("90-rank read differs at %d", i)
+		}
+	}
+	// 12 files on 90 ranks: one round of p-1 pairwise exchanges, 12 opens,
+	// zero broadcasts.
+	if tr.opens != 12 || tr.bcasts != 0 {
+		t.Errorf("trace opens=%d bcasts=%d, want 12 and 0", tr.opens, tr.bcasts)
+	}
+	if tr.rounds != p-1 {
+		t.Errorf("exchange rounds = %d, want %d", tr.rounds, p-1)
+	}
+}
+
+// TestWorldAt256Ranks exercises the message-passing runtime at a width
+// beyond anything the benches use: collectives over 256 goroutine ranks.
+func TestWorldAt256Ranks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const p = 256
+	w, err := mpi.Run(p, func(c *mpi.Comm) {
+		// Allreduce of rank ids.
+		sum := mpi.Allreduce(c, []int64{int64(c.Rank())}, mpi.SumI64)
+		if sum[0] != p*(p-1)/2 {
+			panic("allreduce wrong")
+		}
+		// Broadcast from a non-zero root.
+		got := mpi.Bcast(c, 137, []int32{max32(int32(c.Rank()), 0) * bcastMarker(c.Rank())})
+		if got[0] != 137*bcastMarker(137) {
+			panic("bcast wrong")
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Messages == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bcastMarker makes the broadcast payload root-dependent so a wrong root
+// would be detected.
+func bcastMarker(rank int) int32 { return int32(rank%7 + 1) }

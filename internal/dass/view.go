@@ -1,0 +1,148 @@
+package dass
+
+import (
+	"fmt"
+
+	"dassa/internal/dasf"
+	"dassa/internal/pfs"
+)
+
+// View is a logical array view (LAV, §IV): a channel × time rectangle over
+// either a single data file or a virtually concatenated array. Views are
+// cheap values — they carry only metadata — and can be subset repeatedly.
+type View struct {
+	info    dasf.Info
+	offsets []int // member time offsets (VCA only), len = len(Members)+1
+	chLo    int
+	chHi    int
+	tLo     int
+	tHi     int
+}
+
+// OpenView opens a DASF file (data or VCA) as a full-extent view.
+func OpenView(path string) (*View, error) {
+	info, _, err := dasf.ReadInfo(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewView(info)
+}
+
+// NewView wraps already-parsed file metadata as a full-extent view.
+func NewView(info dasf.Info) (*View, error) {
+	v := &View{info: info, chHi: info.NumChannels, tHi: info.NumSamples}
+	if info.Kind == dasf.KindVCA {
+		v.offsets = make([]int, len(info.Members)+1)
+		for i, m := range info.Members {
+			v.offsets[i+1] = v.offsets[i] + m.NumSamples
+		}
+		if v.offsets[len(info.Members)] != info.NumSamples {
+			return nil, fmt.Errorf("dass: %s: member extents sum to %d, VCA declares %d",
+				info.Path, v.offsets[len(info.Members)], info.NumSamples)
+		}
+	}
+	return v, nil
+}
+
+// Subset returns the logical sub-view [chLo,chHi) × [tLo,tHi), with indices
+// relative to v.
+func (v *View) Subset(chLo, chHi, tLo, tHi int) (*View, error) {
+	nch, nt := v.Shape()
+	if chLo < 0 || chHi > nch || chLo >= chHi || tLo < 0 || tHi > nt || tLo >= tHi {
+		return nil, fmt.Errorf("dass: subset [%d:%d)×[%d:%d) out of view bounds %d×%d",
+			chLo, chHi, tLo, tHi, nch, nt)
+	}
+	sub := *v
+	sub.chLo = v.chLo + chLo
+	sub.chHi = v.chLo + chHi
+	sub.tLo = v.tLo + tLo
+	sub.tHi = v.tLo + tHi
+	return &sub, nil
+}
+
+// SubsetChannels keeps channels [chLo, chHi) over the full time extent.
+func (v *View) SubsetChannels(chLo, chHi int) (*View, error) {
+	_, nt := v.Shape()
+	return v.Subset(chLo, chHi, 0, nt)
+}
+
+// Shape returns the view's extent (channels, samples).
+func (v *View) Shape() (nch, nt int) { return v.chHi - v.chLo, v.tHi - v.tLo }
+
+// Info returns the underlying file metadata.
+func (v *View) Info() dasf.Info { return v.info }
+
+// IsVCA reports whether the view is backed by a virtual file.
+func (v *View) IsVCA() bool { return v.info.Kind == dasf.KindVCA }
+
+// NumMembers returns how many physical files back the view.
+func (v *View) NumMembers() int {
+	if v.IsVCA() {
+		return len(v.info.Members)
+	}
+	return 1
+}
+
+// memberSpan describes the part of one member file a time range covers.
+type memberSpan struct {
+	idx     int // member index
+	tLo     int // local time range inside the member
+	tHi     int
+	destOff int // where this span starts in the output, relative to v.tLo
+}
+
+// memberSpans routes the view's global time range onto member files.
+func (v *View) memberSpans() []memberSpan {
+	if !v.IsVCA() {
+		return []memberSpan{{idx: 0, tLo: v.tLo, tHi: v.tHi, destOff: 0}}
+	}
+	var spans []memberSpan
+	for i := range v.info.Members {
+		mLo, mHi := v.offsets[i], v.offsets[i+1]
+		lo := max(v.tLo, mLo)
+		hi := min(v.tHi, mHi)
+		if lo >= hi {
+			continue
+		}
+		spans = append(spans, memberSpan{idx: i, tLo: lo - mLo, tHi: hi - mLo, destOff: lo - v.tLo})
+	}
+	return spans
+}
+
+// memberPath returns the physical path of member i (or the file itself).
+func (v *View) memberPath(i int) string {
+	if v.IsVCA() {
+		return v.info.Members[i].Name
+	}
+	return v.info.Path
+}
+
+// Read reads the whole view sequentially (single process) and returns the
+// data plus the physical I/O trace. A view over a VCA opens each member it
+// touches — the cost the communication-avoiding parallel reader exists to
+// amortize.
+func (v *View) Read() (*dasf.Array2D, pfs.Trace, error) {
+	var tr pfs.Trace
+	tr.Processes = 1
+	nch, nt := v.Shape()
+	out := dasf.NewArray2D(nch, nt)
+	for _, sp := range v.memberSpans() {
+		r, err := dasf.Open(v.memberPath(sp.idx))
+		if err != nil {
+			return nil, tr, err
+		}
+		part, err := r.ReadSlab(v.chLo, v.chHi, sp.tLo, sp.tHi)
+		st := r.Stats()
+		r.Close()
+		if err != nil {
+			return nil, tr, err
+		}
+		tr.Opens += st.Opens
+		tr.Reads += st.Reads
+		tr.BytesRead += st.BytesRead
+		for c := 0; c < nch; c++ {
+			copy(out.Data[c*nt+sp.destOff:c*nt+sp.destOff+part.Samples], part.Row(c))
+		}
+	}
+	return out, tr, nil
+}

@@ -1,0 +1,112 @@
+package detect
+
+import (
+	"testing"
+
+	"dassa/internal/dasf"
+)
+
+// simWithBlocks builds a similarity map with a flat background and the
+// given hot rectangles.
+func simWithBlocks(nch, nt int, blocks []Region) *dasf.Array2D {
+	sim := dasf.NewArray2D(nch, nt)
+	for i := range sim.Data {
+		sim.Data[i] = 0.25
+	}
+	for _, b := range blocks {
+		for c := b.ChLo; c < b.ChHi; c++ {
+			for t := b.TLo; t < b.THi; t++ {
+				sim.Set(c, t, 0.95)
+			}
+		}
+	}
+	return sim
+}
+
+func TestFindEventsBandedLocalizedEvent(t *testing.T) {
+	// A vehicle-like event on 4 of 64 channels: invisible to the global
+	// column mean, obvious inside its band.
+	blocks := []Region{{TLo: 100, THi: 130, ChLo: 40, ChHi: 44}}
+	sim := simWithBlocks(64, 400, blocks)
+	if got := FindEvents(sim, 3); len(got) != 0 {
+		// (Not a hard requirement, but the premise of the banded variant.)
+		t.Logf("global scan already found %d regions", len(got))
+	}
+	got := FindEventsBanded(sim, 2, 8)
+	if len(got) != 1 {
+		t.Fatalf("banded scan found %d regions, want 1: %+v", len(got), got)
+	}
+	r := got[0]
+	if r.TLo > 102 || r.THi < 128 {
+		t.Errorf("time range [%d,%d), want ≈[100,130)", r.TLo, r.THi)
+	}
+	if r.ChLo > 40 || r.ChHi < 44 || r.ChHi-r.ChLo > 16 {
+		t.Errorf("channel range [%d,%d), want ≈[40,44)", r.ChLo, r.ChHi)
+	}
+}
+
+func TestFindEventsBandedMergesWideEvent(t *testing.T) {
+	// An earthquake-like event across all channels must merge into one
+	// region, not one per band.
+	blocks := []Region{{TLo: 200, THi: 240, ChLo: 0, ChHi: 64}}
+	sim := simWithBlocks(64, 400, blocks)
+	got := FindEventsBanded(sim, 2, 8)
+	if len(got) != 1 {
+		t.Fatalf("wide event split into %d regions", len(got))
+	}
+	if got[0].ChLo != 0 || got[0].ChHi != 64 {
+		t.Errorf("merged channel span [%d,%d), want [0,64)", got[0].ChLo, got[0].ChHi)
+	}
+}
+
+func TestFindEventsBandedSeparatesDistinctEvents(t *testing.T) {
+	blocks := []Region{
+		{TLo: 50, THi: 80, ChLo: 4, ChHi: 8},     // vehicle 1
+		{TLo: 250, THi: 280, ChLo: 50, ChHi: 54}, // vehicle 2
+	}
+	sim := simWithBlocks(64, 400, blocks)
+	got := FindEventsBanded(sim, 2, 8)
+	if len(got) != 2 {
+		t.Fatalf("found %d regions, want 2: %+v", len(got), got)
+	}
+}
+
+func TestFindEventsBandedDegenerate(t *testing.T) {
+	if got := FindEventsBanded(dasf.NewArray2D(0, 0), 2, 8); got != nil {
+		t.Error("empty map should yield nil")
+	}
+	// bandWidth larger than the array falls back to a single band.
+	sim := simWithBlocks(8, 100, []Region{{TLo: 40, THi: 60, ChLo: 0, ChHi: 8}})
+	if got := FindEventsBanded(sim, 2, 1000); len(got) != 1 {
+		t.Errorf("oversized band width found %d regions", len(got))
+	}
+	// Zero band width also falls back.
+	if got := FindEventsBanded(sim, 2, 0); len(got) != 1 {
+		t.Errorf("zero band width found %d regions", len(got))
+	}
+}
+
+func TestMergeRegionsFixedPoint(t *testing.T) {
+	// A chain of touching regions collapses into one.
+	regions := []Region{
+		{TLo: 0, THi: 10, ChLo: 0, ChHi: 8, Peak: 0.5},
+		{TLo: 5, THi: 15, ChLo: 8, ChHi: 16, Peak: 0.7},
+		{TLo: 9, THi: 20, ChLo: 16, ChHi: 24, Peak: 0.6},
+	}
+	got := mergeRegions(regions, 0)
+	if len(got) != 1 {
+		t.Fatalf("chain merged into %d regions", len(got))
+	}
+	r := got[0]
+	if r.TLo != 0 || r.THi != 20 || r.ChLo != 0 || r.ChHi != 24 || r.Peak != 0.7 {
+		t.Errorf("merged region %+v", r)
+	}
+	// Disjoint regions stay apart.
+	regions = []Region{
+		{TLo: 0, THi: 10, ChLo: 0, ChHi: 8},
+		{TLo: 50, THi: 60, ChLo: 0, ChHi: 8},
+	}
+	if got := mergeRegions(regions, 0); len(got) != 2 {
+		t.Errorf("disjoint regions merged to %d", len(got))
+	}
+}

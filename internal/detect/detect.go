@@ -1,0 +1,395 @@
+// Package detect implements the paper's two case studies (§V.C) as
+// ArrayUDF user-defined functions: earthquake detection via local
+// similarity (Algorithm 2) and traffic-noise interferometry (Algorithm 3),
+// plus small utilities to verify detections against planted events.
+package detect
+
+import (
+	"fmt"
+	"math"
+
+	"dassa/internal/arrayudf"
+	"dassa/internal/dasf"
+	"dassa/internal/daslib"
+	"dassa/internal/dass"
+	"dassa/internal/mpi"
+	"dassa/internal/pfs"
+)
+
+// LocalSimiParams configures Algorithm 2. Windows have width 2M+1 samples;
+// the two compared channels sit ±K channels away; 2L+1 window positions are
+// scanned on each neighbor.
+type LocalSimiParams struct {
+	M int // half window width
+	K int // channel offset to the neighbors
+	L int // half lag-scan extent
+	// Stride evaluates the similarity every Stride samples (0/1 = all).
+	Stride int
+}
+
+// Validate checks the parameters.
+func (p LocalSimiParams) Validate() error {
+	if p.M < 1 || p.K < 1 || p.L < 0 {
+		return fmt.Errorf("detect: LocalSimiParams need M≥1, K≥1, L≥0: %+v", p)
+	}
+	return nil
+}
+
+// Spec returns the ArrayUDF spec for these parameters: the stencil reaches
+// K channels away, so blocks carry K ghost channels.
+func (p LocalSimiParams) Spec() arrayudf.Spec {
+	return arrayudf.Spec{GhostChannels: p.K, TimeStride: p.Stride}
+}
+
+// UDF returns Algorithm 2 as a PointUDF: the local similarity of the
+// current cell's window against the best-aligned windows of its ±K channel
+// neighbors.
+func (p LocalSimiParams) UDF() arrayudf.PointUDF {
+	return func(s *arrayudf.Stencil) float64 {
+		w := s.Window(-p.M, p.M, 0)
+		var cPlus, cMinus float64
+		for l := -p.L; l <= p.L; l++ {
+			w1 := s.Window(l-p.M, l+p.M, +p.K)
+			w2 := s.Window(l-p.M, l+p.M, -p.K)
+			cPlus = math.Max(cPlus, daslib.AbsCorr(w, w1))
+			cMinus = math.Max(cMinus, daslib.AbsCorr(w, w2))
+		}
+		return (cPlus + cMinus) / 2
+	}
+}
+
+// InterferometryParams configures Algorithm 3: the ambient-noise
+// interferometry pipeline that turns raw DAS data into noise correlations
+// against a master channel.
+type InterferometryParams struct {
+	// Rate is the input sampling rate in Hz.
+	Rate float64
+	// FilterOrder and CutoffHz define the Butterworth lowpass
+	// Das_butter(n, fc) applied with Das_filtfilt.
+	FilterOrder int
+	CutoffHz    float64
+	// ResampleP/ResampleQ change the rate by P/Q after filtering
+	// (Das_resample).
+	ResampleP, ResampleQ int
+	// MasterChannel is the view-relative channel every channel is
+	// correlated against.
+	MasterChannel int
+	// MaxLag limits the correlation output to ±MaxLag samples (at the
+	// resampled rate). Zero keeps the full correlation.
+	MaxLag int
+}
+
+// Validate checks the parameters.
+func (p InterferometryParams) Validate() error {
+	if p.Rate <= 0 || p.FilterOrder < 1 || p.CutoffHz <= 0 || p.CutoffHz >= p.Rate/2 {
+		return fmt.Errorf("detect: bad filter config %+v", p)
+	}
+	if p.ResampleP < 1 || p.ResampleQ < 1 {
+		return fmt.Errorf("detect: bad resample factors %d/%d", p.ResampleP, p.ResampleQ)
+	}
+	if p.MasterChannel < 0 {
+		return fmt.Errorf("detect: negative master channel")
+	}
+	if p.MaxLag < 0 {
+		return fmt.Errorf("detect: negative MaxLag")
+	}
+	return nil
+}
+
+// Preprocess is the per-channel front half of Algorithm 3: detrend,
+// zero-phase lowpass, resample. It is applied identically to the master
+// channel and to every analyzed channel.
+func (p InterferometryParams) Preprocess(x []float64) ([]float64, error) {
+	w1 := daslib.Detrend(x)
+	b, a, err := daslib.Butter(p.FilterOrder, daslib.Lowpass, p.CutoffHz/(p.Rate/2))
+	if err != nil {
+		return nil, err
+	}
+	w2, err := daslib.FiltFilt(b, a, w1)
+	if err != nil {
+		return nil, err
+	}
+	return daslib.Resample(w2, p.ResampleP, p.ResampleQ)
+}
+
+// resampledLen returns the output length of Preprocess for input length n.
+func (p InterferometryParams) resampledLen(n int) int {
+	g := 1
+	for a, b := p.ResampleP, p.ResampleQ; b != 0; a, b = b, a%b {
+		g = b
+	}
+	pp, qq := p.ResampleP/g, p.ResampleQ/g
+	return (n*pp + qq - 1) / qq
+}
+
+// RowLen returns the correlation row length for an input time extent nt.
+func (p InterferometryParams) RowLen(nt int) int {
+	m := p.resampledLen(nt)
+	full := 2*m - 1
+	if p.MaxLag > 0 && 2*p.MaxLag+1 < full {
+		return 2*p.MaxLag + 1
+	}
+	return full
+}
+
+// Master holds the shared, per-node payload of the interferometry
+// workload: the preprocessed master channel and its spectrum (Mfft in
+// Algorithm 3). In pure MPI every rank holds its own copy — the memory
+// pressure Figure 8 demonstrates.
+type Master struct {
+	Series   []float64
+	Spectrum []complex128
+}
+
+// Bytes estimates the payload's memory footprint.
+func (m *Master) Bytes() int64 {
+	return int64(len(m.Series))*8 + int64(len(m.Spectrum))*16
+}
+
+// PrepareMaster loads and preprocesses the master channel from the view.
+// Every calling rank performs its own read — one per core in pure MPI, one
+// per node in hybrid mode — which is exactly the paper's I/O-call argument.
+func (p InterferometryParams) PrepareMaster(v *dass.View) (*Master, pfs.Trace, error) {
+	nch, nt := v.Shape()
+	if p.MasterChannel >= nch {
+		return nil, pfs.Trace{}, fmt.Errorf("detect: master channel %d outside view (%d channels)", p.MasterChannel, nch)
+	}
+	sub, err := v.Subset(p.MasterChannel, p.MasterChannel+1, 0, nt)
+	if err != nil {
+		return nil, pfs.Trace{}, err
+	}
+	raw, tr, err := sub.Read()
+	if err != nil {
+		return nil, tr, err
+	}
+	series, err := p.Preprocess(raw.Row(0))
+	if err != nil {
+		return nil, tr, err
+	}
+	return &Master{Series: series, Spectrum: daslib.FFTReal(series)}, tr, nil
+}
+
+// Workload assembles Algorithm 3 as a HAEE rows-workload returning, per
+// channel, the time-domain noise correlation with the master channel
+// (lags ordered negative→positive, trimmed to ±MaxLag).
+func (p InterferometryParams) Workload(nt int) RowsWorkloadParts {
+	rowLen := p.RowLen(nt)
+	return RowsWorkloadParts{
+		RowLen: rowLen,
+		Prepare: func(c *mpi.Comm, v *dass.View) (any, int64, pfs.Trace) {
+			m, tr, err := p.PrepareMaster(v)
+			if err != nil {
+				panic(fmt.Sprintf("detect: prepare master: %v", err))
+			}
+			return m, m.Bytes(), tr
+		},
+		UDF: func(s *arrayudf.Stencil, shared any) []float64 {
+			master := shared.(*Master)
+			series, err := p.Preprocess(s.Row(0))
+			if err != nil {
+				panic(fmt.Sprintf("detect: preprocess: %v", err))
+			}
+			corr := daslib.XCorrNormalized(series, master.Series)
+			return TrimLags(corr, len(series), len(master.Series), rowLen)
+		},
+	}
+}
+
+// ScalarUDF is Algorithm 3 exactly as printed: the absolute spectral
+// correlation of the channel against the master, one value per channel.
+func (p InterferometryParams) ScalarUDF(master *Master) arrayudf.PointUDF {
+	return func(s *arrayudf.Stencil) float64 {
+		series, err := p.Preprocess(s.Row(0))
+		if err != nil {
+			panic(fmt.Sprintf("detect: preprocess: %v", err))
+		}
+		wfft := daslib.FFTReal(series)
+		n := min(len(wfft), len(master.Spectrum))
+		return daslib.AbsCorrComplex(wfft[:n], master.Spectrum[:n])
+	}
+}
+
+// RowsWorkloadParts carries the pieces detect hands to haee.RowsWorkload
+// without importing haee (which would be a cycle: haee → arrayudf ← detect).
+type RowsWorkloadParts struct {
+	RowLen  int
+	Prepare func(c *mpi.Comm, v *dass.View) (any, int64, pfs.Trace)
+	UDF     func(s *arrayudf.Stencil, shared any) []float64
+}
+
+// TrimLags cuts a full cross-correlation (length na+nb-1, zero lag at index
+// nb-1) down to rowLen samples centered on zero lag.
+func TrimLags(corr []float64, na, nb, rowLen int) []float64 {
+	if len(corr) <= rowLen {
+		out := make([]float64, rowLen)
+		copy(out, corr)
+		return out
+	}
+	zero := nb - 1
+	half := rowLen / 2
+	lo := zero - half
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+rowLen > len(corr) {
+		lo = len(corr) - rowLen
+	}
+	out := make([]float64, rowLen)
+	copy(out, corr[lo:lo+rowLen])
+	return out
+}
+
+// Region is a detected event: a time interval (in output sample indices)
+// with elevated similarity, plus the channel span where it was strongest.
+type Region struct {
+	TLo, THi   int
+	ChLo, ChHi int
+	Peak       float64
+}
+
+// FindEvents scans a similarity map (channels × time) for intervals whose
+// per-column mean similarity rises above the map's background by thresh
+// standard deviations. It is used to verify that planted events (Fig. 10's
+// vehicles and earthquake) are actually recovered.
+func FindEvents(sim *dasf.Array2D, thresh float64) []Region {
+	nt := sim.Samples
+	if nt == 0 || sim.Channels == 0 {
+		return nil
+	}
+	col := make([]float64, nt)
+	for t := 0; t < nt; t++ {
+		var s float64
+		for c := 0; c < sim.Channels; c++ {
+			s += sim.At(c, t)
+		}
+		col[t] = s / float64(sim.Channels)
+	}
+	var mean, sd float64
+	for _, v := range col {
+		mean += v
+	}
+	mean /= float64(nt)
+	for _, v := range col {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(nt))
+	cut := mean + thresh*sd
+	var out []Region
+	inEvent := false
+	var cur Region
+	for t := 0; t <= nt; t++ {
+		hot := t < nt && col[t] > cut
+		switch {
+		case hot && !inEvent:
+			inEvent = true
+			cur = Region{TLo: t, Peak: col[t]}
+		case hot && inEvent:
+			cur.Peak = math.Max(cur.Peak, col[t])
+		case !hot && inEvent:
+			inEvent = false
+			cur.THi = t
+			cur.ChLo, cur.ChHi = hotChannels(sim, cur.TLo, cur.THi)
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// FindEventsBanded splits the channel axis into bands of bandWidth
+// channels, runs the FindEvents scan inside each band, and merges
+// detections that overlap in both time and channel span. Localized events
+// — a vehicle covering a few percent of the fiber, a persistent vibration
+// on a short segment — stand out inside their band even though they barely
+// move the whole-array column mean that FindEvents uses.
+func FindEventsBanded(sim *dasf.Array2D, thresh float64, bandWidth int) []Region {
+	if sim.Channels == 0 || sim.Samples == 0 {
+		return nil
+	}
+	if bandWidth <= 0 || bandWidth > sim.Channels {
+		bandWidth = sim.Channels
+	}
+	var all []Region
+	for lo := 0; lo < sim.Channels; lo += bandWidth {
+		hi := min(lo+bandWidth, sim.Channels)
+		band := &dasf.Array2D{
+			Channels: hi - lo,
+			Samples:  sim.Samples,
+			Data:     sim.Data[lo*sim.Samples : hi*sim.Samples],
+		}
+		for _, r := range FindEvents(band, thresh) {
+			r.ChLo += lo
+			r.ChHi += lo
+			all = append(all, r)
+		}
+	}
+	// Allow one band of slack when merging: FindEvents refines each band's
+	// channel span, which can leave gaps between a wide event's per-band
+	// detections.
+	return mergeRegions(all, bandWidth)
+}
+
+// mergeRegions coalesces regions that overlap in time and whose channel
+// spans are within chSlack of touching, repeating until a fixed point (an
+// earthquake detected in every band merges into one wide region).
+func mergeRegions(regions []Region, chSlack int) []Region {
+	merged := true
+	for merged {
+		merged = false
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				a, b := regions[i], regions[j]
+				timeOverlap := a.TLo < b.THi && b.TLo < a.THi
+				chTouch := a.ChLo <= b.ChHi+chSlack && b.ChLo <= a.ChHi+chSlack
+				if !timeOverlap || !chTouch {
+					continue
+				}
+				regions[i] = Region{
+					TLo:  min(a.TLo, b.TLo),
+					THi:  max(a.THi, b.THi),
+					ChLo: min(a.ChLo, b.ChLo),
+					ChHi: max(a.ChHi, b.ChHi),
+					Peak: math.Max(a.Peak, b.Peak),
+				}
+				regions = append(regions[:j], regions[j+1:]...)
+				merged = true
+				j--
+			}
+		}
+	}
+	return regions
+}
+
+// hotChannels returns the channel span whose mean similarity inside
+// [tLo,tHi) exceeds the per-channel median, i.e. where the event lives.
+func hotChannels(sim *dasf.Array2D, tLo, tHi int) (lo, hi int) {
+	nch := sim.Channels
+	means := make([]float64, nch)
+	for c := 0; c < nch; c++ {
+		var s float64
+		row := sim.Row(c)
+		for t := tLo; t < tHi; t++ {
+			s += row[t]
+		}
+		means[c] = s / float64(tHi-tLo)
+	}
+	var mean float64
+	for _, v := range means {
+		mean += v
+	}
+	mean /= float64(nch)
+	lo, hi = nch, 0
+	for c, v := range means {
+		if v > mean {
+			if c < lo {
+				lo = c
+			}
+			if c+1 > hi {
+				hi = c + 1
+			}
+		}
+	}
+	if lo >= hi {
+		return 0, nch
+	}
+	return lo, hi
+}

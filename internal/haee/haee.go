@@ -1,0 +1,327 @@
+// Package haee is DASSA's Hybrid ArrayUDF Execution Engine (§V.B): the
+// extension of ArrayUDF from a pure-MPI model (one process per core) to a
+// hybrid model (one process per node, OpenMP-style threads inside). The two
+// wins the paper claims are reproduced structurally here: threads on a node
+// share one copy of node-wide data (the FFT'd master channel that pure MPI
+// must replicate per core), and each node issues one set of I/O requests
+// instead of one per core.
+//
+// ApplyMT is the paper's Algorithm 1: a thread team evaluates the UDF over
+// the node's block, each thread appending to a private result vector; the
+// vectors are merged by a prefix-sum of sizes and a parallel copy.
+package haee
+
+import (
+	"fmt"
+	"time"
+
+	"dassa/internal/arrayudf"
+	"dassa/internal/dasf"
+	"dassa/internal/dass"
+	"dassa/internal/mpi"
+	"dassa/internal/omp"
+	"dassa/internal/pfs"
+)
+
+// Mode selects the execution model.
+type Mode int
+
+const (
+	// PureMPI is the original ArrayUDF layout: Nodes×CoresPerNode MPI
+	// ranks, each single-threaded with its own block, shared data copy,
+	// and I/O requests.
+	PureMPI Mode = iota
+	// Hybrid is HAEE: one MPI rank per node running CoresPerNode threads
+	// that share the node's block and shared data.
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PureMPI:
+		return "mpi"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes the simulated machine layout for a run.
+type Config struct {
+	Nodes        int
+	CoresPerNode int
+	Mode         Mode
+	// NodeMemoryBytes, when positive, aborts the run with Report.OOM when
+	// the estimated per-node footprint exceeds it (the paper's 91-node
+	// pure-MPI out-of-memory case).
+	NodeMemoryBytes int64
+	// ReadStrategy overrides how ranks load their blocks (default:
+	// independent reads, the original ArrayUDF behaviour).
+	ReadStrategy arrayudf.ReadStrategy
+}
+
+func (cfg Config) validate() error {
+	if cfg.Nodes < 1 || cfg.CoresPerNode < 1 {
+		return fmt.Errorf("haee: config needs ≥1 node and ≥1 core, got %d×%d", cfg.Nodes, cfg.CoresPerNode)
+	}
+	return nil
+}
+
+// ranks returns the MPI world size and per-rank thread count for the mode.
+func (cfg Config) ranks() (worldSize, threads int) {
+	if cfg.Mode == Hybrid {
+		return cfg.Nodes, cfg.CoresPerNode
+	}
+	return cfg.Nodes * cfg.CoresPerNode, 1
+}
+
+// RowsWorkload is a per-channel analysis (Algorithm 3 shape): Prepare loads
+// or computes data shared by all channels (the master channel's spectrum),
+// then UDF maps each channel's stencil to a fixed-length row.
+type RowsWorkload struct {
+	Spec   arrayudf.Spec
+	RowLen int
+	// Prepare runs once per MPI rank (≙ once per node in Hybrid mode, once
+	// per core in PureMPI mode) and returns the shared payload plus its
+	// approximate size in bytes and the I/O it performed.
+	Prepare func(c *mpi.Comm, v *dass.View) (shared any, bytes int64, tr pfs.Trace)
+	// UDF maps one channel to its output row; it must be thread-safe.
+	UDF func(s *arrayudf.Stencil, shared any) []float64
+}
+
+// PointsWorkload is a per-cell analysis (Algorithm 2 shape).
+type PointsWorkload struct {
+	Spec arrayudf.Spec
+	// UDF maps one cell to one value; it must be thread-safe.
+	UDF arrayudf.PointUDF
+}
+
+// Report summarizes a run: wall-clock per phase (max across ranks), the
+// global I/O trace, the memory estimate that decides OOM, and on rank 0
+// the assembled output.
+type Report struct {
+	Mode         Mode
+	Nodes        int
+	CoresPerNode int
+
+	ReadTime    time.Duration
+	ComputeTime time.Duration
+	WriteTime   time.Duration
+
+	ReadTrace  pfs.Trace
+	WriteTrace pfs.Trace
+
+	// MemPerNode estimates one node's footprint: every rank on the node
+	// holds its block plus its own copy of the shared payload.
+	MemPerNode int64
+	OOM        bool
+
+	Output *dasf.Array2D
+}
+
+// Total returns the end-to-end wall time.
+func (r Report) Total() time.Duration { return r.ReadTime + r.ComputeTime + r.WriteTime }
+
+// Engine executes workloads under a machine layout.
+type Engine struct {
+	cfg Config
+}
+
+// New creates an engine; the config is validated at run time.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// ApplyMT is Algorithm 1: evaluate udf over every (owned channel × strided
+// time) cell of blk with a thread team, using per-thread private vectors
+// merged by prefix sums (omp.ForAppend). The static schedule makes the
+// merged order equal the sequential order.
+func ApplyMT(team *omp.Team, blk arrayudf.Block, spec arrayudf.Spec, nt int, udf arrayudf.PointUDF) *dasf.Array2D {
+	own := blk.OwnedChannels()
+	outT := spec.OutSamples(nt)
+	if own <= 0 {
+		return dasf.NewArray2D(0, outT)
+	}
+	stride := spec.TimeStride
+	if stride <= 0 {
+		stride = 1
+	}
+	cells := own * outT
+	flat := omp.ForAppend(team, cells, func(i int, out *[]float64) {
+		s := blk.Stencil(i/outT, (i%outT)*stride)
+		*out = append(*out, udf(s))
+	})
+	return &dasf.Array2D{Channels: own, Samples: outT, Data: flat}
+}
+
+// ApplyRowsMT is ApplyMT for RowUDF workloads: one evaluation per owned
+// channel, each appending its whole row.
+func ApplyRowsMT(team *omp.Team, blk arrayudf.Block, rowLen int, udf func(s *arrayudf.Stencil) []float64) *dasf.Array2D {
+	own := blk.OwnedChannels()
+	if own <= 0 {
+		return dasf.NewArray2D(0, rowLen)
+	}
+	flat := omp.ForAppend(team, own, func(ch int, out *[]float64) {
+		row := udf(blk.Stencil(ch, 0))
+		if len(row) != rowLen {
+			panic(fmt.Sprintf("haee: RowUDF returned %d values, declared %d", len(row), rowLen))
+		}
+		*out = append(*out, row...)
+	})
+	return &dasf.Array2D{Channels: own, Samples: rowLen, Data: flat}
+}
+
+// RunRows executes a RowsWorkload over the view. If outPath is non-empty,
+// rank 0 writes the assembled result as a DASF file (the single-big-array
+// write both modes share in Figure 8).
+func (e *Engine) RunRows(v *dass.View, w RowsWorkload, outPath string) (Report, error) {
+	if err := e.cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	if w.UDF == nil || w.RowLen <= 0 {
+		return Report{}, fmt.Errorf("haee: RowsWorkload needs a UDF and positive RowLen")
+	}
+	return e.run(v, w.Spec, outPath, func(c *mpi.Comm, team *omp.Team, blk arrayudf.Block) (*dasf.Array2D, int64, pfs.Trace) {
+		var shared any
+		var sharedBytes int64
+		var prepTr pfs.Trace
+		if w.Prepare != nil {
+			shared, sharedBytes, prepTr = w.Prepare(c, v)
+		}
+		out := ApplyRowsMT(team, blk, w.RowLen, func(s *arrayudf.Stencil) []float64 {
+			return w.UDF(s, shared)
+		})
+		return out, sharedBytes, prepTr
+	})
+}
+
+// RunPoints executes a PointsWorkload over the view.
+func (e *Engine) RunPoints(v *dass.View, w PointsWorkload, outPath string) (Report, error) {
+	if err := e.cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	if w.UDF == nil {
+		return Report{}, fmt.Errorf("haee: PointsWorkload needs a UDF")
+	}
+	_, nt := v.Shape()
+	return e.run(v, w.Spec, outPath, func(c *mpi.Comm, team *omp.Team, blk arrayudf.Block) (*dasf.Array2D, int64, pfs.Trace) {
+		return ApplyMT(team, blk, w.Spec, nt, w.UDF), 0, pfs.Trace{}
+	})
+}
+
+// run is the shared phase driver: read → compute → gather/write, with
+// per-phase timing reduced to the max across ranks.
+func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
+	outPath string,
+	compute func(c *mpi.Comm, team *omp.Team, blk arrayudf.Block) (*dasf.Array2D, int64, pfs.Trace),
+) (Report, error) {
+	cfg := e.cfg
+	worldSize, threads := cfg.ranks()
+	spec.ReadStrategy = cfg.ReadStrategy
+
+	rep := Report{Mode: cfg.Mode, Nodes: cfg.Nodes, CoresPerNode: cfg.CoresPerNode}
+	nch, _ := v.Shape()
+	var runErr error
+	_, err := mpi.Run(worldSize, func(c *mpi.Comm) {
+		team := omp.NewTeam(threads)
+
+		t0 := time.Now()
+		blk, readTr := arrayudf.LoadBlock(c, v, spec)
+		readSec := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		out, sharedBytes, prepTr := compute(c, team, blk)
+		computeSec := time.Since(t0).Seconds()
+		readTr.Add(prepTr) // prepare-phase I/O counts as read I/O
+
+		// Memory estimate: each rank holds its block + shared payload; a
+		// node hosts ranksPerNode such ranks.
+		var blockBytes int64
+		if blk.Data != nil {
+			blockBytes = int64(len(blk.Data.Data)) * 8
+		}
+		ranksPerNode := 1
+		if cfg.Mode == PureMPI {
+			ranksPerNode = cfg.CoresPerNode
+		}
+		memVec := mpi.Allreduce(c, []int64{blockBytes + sharedBytes}, mpi.MaxI64)
+		memPerNode := memVec[0] * int64(ranksPerNode)
+		oom := cfg.NodeMemoryBytes > 0 && memPerNode > cfg.NodeMemoryBytes
+
+		// Phase times: max across ranks. I/O traces: summed across ranks —
+		// the total request pressure on the storage system is exactly what
+		// Figure 8 compares between the two modes.
+		times := mpi.Reduce(c, 0, []float64{readSec, computeSec}, mpi.MaxF64)
+		trSum := mpi.Reduce(c, 0, []int64{readTr.Opens, readTr.Reads, readTr.BytesRead}, mpi.SumI64)
+		if c.Rank() == 0 {
+			readTr.Opens, readTr.Reads, readTr.BytesRead = trSum[0], trSum[1], trSum[2]
+		}
+
+		// Write the result as one big array with positioned parallel writes
+		// (every rank stores its own rows — the single-shared-file pattern
+		// whose cost Figure 8 shows is identical between the two modes),
+		// then gather a copy on rank 0 for the report.
+		t0 = time.Now()
+		var writeTr pfs.Trace
+		if outPath != "" && !oom {
+			outT := 0
+			if out != nil {
+				outT = out.Samples
+			}
+			// All ranks must agree on the output width, including ranks
+			// that own no channels.
+			widths := mpi.Allreduce(c, []int64{int64(outT)}, mpi.MaxI64)
+			outT = int(widths[0])
+			if c.Rank() == 0 {
+				meta := dasf.Meta{"Producer": dasf.S("dassa-haee"), "Mode": dasf.S(cfg.Mode.String())}
+				pw, err := dasf.CreateData(outPath, meta, nch, outT, dasf.Float64)
+				if err != nil {
+					runErr = err
+				} else if err := pw.Close(); err != nil {
+					runErr = err
+				}
+			}
+			c.Barrier()
+			if runErr == nil && out != nil && out.Channels > 0 {
+				pw, err := dasf.OpenForWrite(outPath)
+				if err != nil {
+					panic(fmt.Sprintf("haee: parallel write: %v", err))
+				}
+				if err := pw.WriteRows(blk.ChLo, out); err != nil {
+					pw.Close()
+					panic(fmt.Sprintf("haee: parallel write: %v", err))
+				}
+				st := pw.Stats()
+				if err := pw.Close(); err != nil {
+					panic(fmt.Sprintf("haee: parallel write: %v", err))
+				}
+				writeTr.Opens += st.Opens
+				writeTr.Writes += st.Writes
+				writeTr.BytesWritten += st.BytesWritten
+			}
+		}
+		wr := mpi.Reduce(c, 0, []int64{writeTr.Opens, writeTr.Writes, writeTr.BytesWritten}, mpi.SumI64)
+		if c.Rank() == 0 {
+			writeTr.Opens, writeTr.Writes, writeTr.BytesWritten = wr[0], wr[1], wr[2]
+		}
+		full := arrayudf.Gather(c, nch, arrayudf.Result{Data: out, ChLo: blk.ChLo, ChHi: blk.ChHi})
+		writeSec := time.Since(t0).Seconds()
+		wtimes := mpi.Reduce(c, 0, []float64{writeSec}, mpi.MaxF64)
+
+		if c.Rank() == 0 {
+			rep.ReadTime = time.Duration(times[0] * float64(time.Second))
+			rep.ComputeTime = time.Duration(times[1] * float64(time.Second))
+			rep.WriteTime = time.Duration(wtimes[0] * float64(time.Second))
+			rep.ReadTrace = readTr
+			rep.ReadTrace.Processes = worldSize
+			rep.WriteTrace = writeTr
+			rep.WriteTrace.Processes = worldSize
+			rep.MemPerNode = memPerNode
+			rep.OOM = oom
+			rep.Output = full
+		}
+	})
+	if err != nil {
+		return rep, err
+	}
+	return rep, runErr
+}

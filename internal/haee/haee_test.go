@@ -1,0 +1,253 @@
+package haee
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"dassa/internal/arrayudf"
+	"dassa/internal/dasf"
+	"dassa/internal/dasgen"
+	"dassa/internal/dass"
+	"dassa/internal/detect"
+	"dassa/internal/omp"
+)
+
+func makeView(t *testing.T, channels, files int) (*dass.View, *dasf.Array2D, dasgen.Config) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := dasgen.Config{
+		Channels: channels, SampleRate: 40, FileSeconds: 2, NumFiles: files,
+		Seed: 8, DType: dasf.Float64,
+	}
+	if _, err := dasgen.Generate(dir, cfg, dasgen.Fig10Events(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := dass.ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vca := filepath.Join(dir, "v.dasf")
+	if _, err := dass.CreateVCA(vca, cat.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dass.OpenView(vca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := v.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, full, cfg
+}
+
+func TestModeString(t *testing.T) {
+	if PureMPI.String() != "mpi" || Hybrid.String() != "hybrid" {
+		t.Error("Mode.String broken")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := New(Config{Nodes: 0, CoresPerNode: 4})
+	if _, err := e.RunPoints(nil, PointsWorkload{UDF: func(*arrayudf.Stencil) float64 { return 0 }}, ""); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	e = New(Config{Nodes: 1, CoresPerNode: 1})
+	if _, err := e.RunPoints(nil, PointsWorkload{}, ""); err == nil {
+		t.Error("nil UDF should fail")
+	}
+	if _, err := e.RunRows(nil, RowsWorkload{}, ""); err == nil {
+		t.Error("empty rows workload should fail")
+	}
+}
+
+func TestApplyMTMatchesSequentialApply(t *testing.T) {
+	v, full, _ := makeView(t, 10, 2)
+	udf := func(s *arrayudf.Stencil) float64 {
+		return s.At(0, -1) + 2*s.Value() + s.At(0, 1)
+	}
+	spec := arrayudf.Spec{GhostChannels: 1, TimeStride: 3}
+
+	// Sequential reference via arrayudf.Apply on one rank.
+	var want *dasf.Array2D
+	eng := New(Config{Nodes: 1, CoresPerNode: 1, Mode: PureMPI})
+	rep, err := eng.RunPoints(v, PointsWorkload{Spec: spec, UDF: udf}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = rep.Output
+
+	// Hybrid with several threads and several nodes.
+	for _, cfg := range []Config{
+		{Nodes: 1, CoresPerNode: 4, Mode: Hybrid},
+		{Nodes: 3, CoresPerNode: 2, Mode: Hybrid},
+		{Nodes: 2, CoresPerNode: 3, Mode: PureMPI},
+	} {
+		rep, err := New(cfg).RunPoints(v, PointsWorkload{Spec: spec, UDF: udf}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rep.Output
+		if got.Channels != want.Channels || got.Samples != want.Samples {
+			t.Fatalf("%v: shape %d×%d, want %d×%d", cfg, got.Channels, got.Samples, want.Channels, want.Samples)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("cfg=%+v: output differs at %d", cfg, i)
+			}
+		}
+	}
+	_ = full
+}
+
+func TestApplyMTDirect(t *testing.T) {
+	// ApplyMT on a handmade block, checked against direct evaluation.
+	a := dasf.NewArray2D(4, 20)
+	for c := 0; c < 4; c++ {
+		for tt := 0; tt < 20; tt++ {
+			a.Set(c, tt, float64(c)*100+float64(tt))
+		}
+	}
+	blk := arrayudf.Block{Data: a, ChLo: 0, ChHi: 4, Ghost: 0}
+	team := omp.NewTeam(3)
+	out := ApplyMT(team, blk, arrayudf.Spec{TimeStride: 2}, 20, func(s *arrayudf.Stencil) float64 {
+		return 2 * s.Value()
+	})
+	if out.Channels != 4 || out.Samples != 10 {
+		t.Fatalf("shape %d×%d", out.Channels, out.Samples)
+	}
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 10; i++ {
+			if out.At(c, i) != 2*a.At(c, i*2) {
+				t.Fatalf("ApplyMT(%d,%d) wrong", c, i)
+			}
+		}
+	}
+	// Empty block.
+	empty := ApplyMT(team, arrayudf.Block{ChLo: 2, ChHi: 2}, arrayudf.Spec{}, 20, nil)
+	if empty.Channels != 0 {
+		t.Error("empty block should give empty output")
+	}
+}
+
+func TestHybridSharesMasterMemory(t *testing.T) {
+	// The core Figure 8 claim: with the same total cores, pure MPI's
+	// per-node memory exceeds hybrid's by (cores-1) × shared bytes.
+	v, _, cfg := makeView(t, 16, 2)
+	params := detect.InterferometryParams{
+		Rate: cfg.SampleRate, FilterOrder: 3, CutoffHz: 8,
+		ResampleP: 1, ResampleQ: 2, MasterChannel: 0, MaxLag: 30,
+	}
+	_, nt := v.Shape()
+	parts := params.Workload(nt)
+	wl := RowsWorkload{Spec: arrayudf.Spec{}, RowLen: parts.RowLen, Prepare: parts.Prepare, UDF: parts.UDF}
+
+	repMPI, err := New(Config{Nodes: 2, CoresPerNode: 4, Mode: PureMPI}).RunRows(v, wl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repHyb, err := New(Config{Nodes: 2, CoresPerNode: 4, Mode: Hybrid}).RunRows(v, wl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repMPI.MemPerNode <= repHyb.MemPerNode {
+		t.Errorf("pure MPI per-node memory (%d) should exceed hybrid (%d)",
+			repMPI.MemPerNode, repHyb.MemPerNode)
+	}
+	// Same result either way.
+	if repMPI.Output.Channels != repHyb.Output.Channels {
+		t.Fatal("shape mismatch")
+	}
+	for i := range repMPI.Output.Data {
+		if d := math.Abs(repMPI.Output.Data[i] - repHyb.Output.Data[i]); d > 1e-9 {
+			t.Fatalf("mode outputs differ at %d by %g", i, d)
+		}
+	}
+	// Hybrid issues fewer read requests (2 ranks vs 8 ranks doing
+	// independent I/O + master reads).
+	if repHyb.ReadTrace.Opens >= repMPI.ReadTrace.Opens {
+		t.Errorf("hybrid opens (%d) should be below pure MPI opens (%d)",
+			repHyb.ReadTrace.Opens, repMPI.ReadTrace.Opens)
+	}
+}
+
+func TestOOMDetection(t *testing.T) {
+	v, _, cfg := makeView(t, 16, 2)
+	params := detect.InterferometryParams{
+		Rate: cfg.SampleRate, FilterOrder: 3, CutoffHz: 8,
+		ResampleP: 1, ResampleQ: 2, MasterChannel: 0, MaxLag: 30,
+	}
+	_, nt := v.Shape()
+	parts := params.Workload(nt)
+	wl := RowsWorkload{RowLen: parts.RowLen, Prepare: parts.Prepare, UDF: parts.UDF}
+	// A memory cap between hybrid's and pure MPI's footprint OOMs only MPI.
+	hyb, err := New(Config{Nodes: 2, CoresPerNode: 4, Mode: Hybrid}).RunRows(v, wl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiRep, err := New(Config{Nodes: 2, CoresPerNode: 4, Mode: PureMPI}).RunRows(v, wl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := (hyb.MemPerNode + mpiRep.MemPerNode) / 2
+	hyb2, err := New(Config{Nodes: 2, CoresPerNode: 4, Mode: Hybrid, NodeMemoryBytes: cap}).RunRows(v, wl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi2, err := New(Config{Nodes: 2, CoresPerNode: 4, Mode: PureMPI, NodeMemoryBytes: cap}).RunRows(v, wl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb2.OOM {
+		t.Error("hybrid should fit under the cap")
+	}
+	if !mpi2.OOM {
+		t.Error("pure MPI should OOM under the cap")
+	}
+}
+
+func TestRunRowsWritesOutput(t *testing.T) {
+	v, _, cfg := makeView(t, 8, 1)
+	params := detect.InterferometryParams{
+		Rate: cfg.SampleRate, FilterOrder: 3, CutoffHz: 8,
+		ResampleP: 1, ResampleQ: 2, MasterChannel: 0, MaxLag: 20,
+	}
+	_, nt := v.Shape()
+	parts := params.Workload(nt)
+	wl := RowsWorkload{RowLen: parts.RowLen, Prepare: parts.Prepare, UDF: parts.UDF}
+	out := filepath.Join(t.TempDir(), "result.dasf")
+	rep, err := New(Config{Nodes: 2, CoresPerNode: 2, Mode: Hybrid}).RunRows(v, wl, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := dasf.ReadInfo(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumChannels != 8 || info.NumSamples != parts.RowLen {
+		t.Errorf("written result shape %d×%d, want 8×%d", info.NumChannels, info.NumSamples, parts.RowLen)
+	}
+	if rep.WriteTrace.BytesWritten == 0 {
+		t.Error("write trace empty")
+	}
+	if rep.Total() <= 0 {
+		t.Error("phase timings missing")
+	}
+	// The master channel's self-correlation peaks at 1 at zero lag.
+	zero := parts.RowLen / 2
+	if d := math.Abs(rep.Output.At(0, zero) - 1); d > 1e-6 {
+		t.Errorf("master self-correlation at zero lag = %g, want 1", rep.Output.At(0, zero))
+	}
+}
+
+func TestApplyRowsMTWrongLenPanics(t *testing.T) {
+	a := dasf.NewArray2D(2, 10)
+	blk := arrayudf.Block{Data: a, ChLo: 0, ChHi: 2}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong row length should panic")
+		}
+	}()
+	ApplyRowsMT(omp.NewTeam(1), blk, 4, func(*arrayudf.Stencil) []float64 { return []float64{1} })
+}

@@ -1,0 +1,66 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+)
+
+// Stats counts the traffic a World has carried. Collective operations are
+// implemented with point-to-point messages, so Messages/Bytes include their
+// internal traffic; the collective counters additionally record how many
+// logical collectives ran, which is what the communication-avoiding
+// analysis compares (e.g. "one broadcast per file" vs "one all-to-all").
+type Stats struct {
+	Messages   atomic.Int64 // point-to-point sends
+	Bytes      atomic.Int64 // payload bytes sent
+	Broadcasts atomic.Int64 // Bcast calls (counted once per logical bcast)
+	Barriers   atomic.Int64 // Barrier calls
+	Alltoalls  atomic.Int64 // Alltoall/Alltoallv calls
+	Reduces    atomic.Int64 // Reduce/Allreduce calls
+	Gathers    atomic.Int64 // Gather/Gatherv/Allgather calls
+}
+
+func (s *Stats) count(messages, bytes int64) {
+	s.Messages.Add(messages)
+	s.Bytes.Add(bytes)
+}
+
+// Snapshot is a plain-value copy of Stats, safe to compare and print.
+type Snapshot struct {
+	Messages   int64
+	Bytes      int64
+	Broadcasts int64
+	Barriers   int64
+	Alltoalls  int64
+	Reduces    int64
+	Gathers    int64
+}
+
+// Stats returns a consistent-enough snapshot of the world's counters.
+// Call it after Run returns for exact totals.
+func (w *World) Stats() Snapshot {
+	return Snapshot{
+		Messages:   w.stats.Messages.Load(),
+		Bytes:      w.stats.Bytes.Load(),
+		Broadcasts: w.stats.Broadcasts.Load(),
+		Barriers:   w.stats.Barriers.Load(),
+		Alltoalls:  w.stats.Alltoalls.Load(),
+		Reduces:    w.stats.Reduces.Load(),
+		Gathers:    w.stats.Gathers.Load(),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("msgs=%d bytes=%d bcasts=%d barriers=%d alltoalls=%d reduces=%d gathers=%d",
+		s.Messages, s.Bytes, s.Broadcasts, s.Barriers, s.Alltoalls, s.Reduces, s.Gathers)
+}
+
+// payloadBytes estimates the wire size of a slice payload from its element
+// type. Shallow size only: payloads are expected to be slices of value types.
+func payloadBytes[T any](data []T) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	return int64(len(data)) * int64(reflect.TypeOf(data[0]).Size())
+}

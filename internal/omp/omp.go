@@ -1,0 +1,274 @@
+// Package omp provides an OpenMP-style fork-join threading engine: parallel
+// for-loops with static or dynamic schedules, per-thread partial results
+// merged by prefix sums, and simple reductions. It is the intra-node half of
+// DASSA's hybrid execution model — the paper's Algorithm 1 (ApplyMT) maps
+// onto Team.ForAppend.
+package omp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how loop iterations are divided among threads.
+type Schedule int
+
+const (
+	// Static divides the iteration space into one contiguous chunk per
+	// thread, like #pragma omp for schedule(static). This is what
+	// Algorithm 1 in the paper uses.
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter, like
+	// schedule(dynamic, chunk). Useful when iteration costs vary.
+	Dynamic
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Team is a fixed-size group of worker threads, analogous to an OpenMP
+// parallel region's thread team.
+type Team struct {
+	threads  int
+	schedule Schedule
+	chunk    int // dynamic chunk size
+}
+
+// Option configures a Team.
+type Option func(*Team)
+
+// WithSchedule selects the loop schedule (default Static).
+func WithSchedule(s Schedule) Option { return func(t *Team) { t.schedule = s } }
+
+// WithChunk sets the dynamic-schedule chunk size (default 64).
+func WithChunk(n int) Option {
+	return func(t *Team) {
+		if n > 0 {
+			t.chunk = n
+		}
+	}
+}
+
+// NewTeam creates a team of n threads. n <= 0 means runtime.NumCPU().
+func NewTeam(n int, opts ...Option) *Team {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	t := &Team{threads: n, schedule: Static, chunk: 64}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Threads returns the team size.
+func (t *Team) Threads() int { return t.threads }
+
+// staticRange returns thread h's contiguous [lo, hi) slice of n iterations.
+func staticRange(n, threads, h int) (lo, hi int) {
+	base := n / threads
+	rem := n % threads
+	lo = h*base + min(h, rem)
+	hi = lo + base
+	if h < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// panicCollector re-raises the first worker panic on the caller's
+// goroutine, so a panicking loop body behaves like it would in a serial
+// loop instead of crashing the process from a worker goroutine.
+type panicCollector struct {
+	once sync.Once
+	val  any
+}
+
+func (pc *panicCollector) guard(f func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			pc.once.Do(func() { pc.val = p })
+		}
+	}()
+	f()
+}
+
+func (pc *panicCollector) rethrow() {
+	if pc.val != nil {
+		panic(pc.val)
+	}
+}
+
+// For runs body(i) for every i in [0, n), split across the team according
+// to its schedule. body must be safe to call concurrently from different
+// threads for different i. For blocks until all iterations finish. If a
+// body panics, the panic is re-raised on the calling goroutine.
+func (t *Team) For(n int, body func(i int)) {
+	t.ForThread(n, func(i, _ int) { body(i) })
+}
+
+// ForThread is For, additionally passing the worker thread id h in
+// [0, Threads()) so bodies can use per-thread scratch space.
+func (t *Team) ForThread(n int, body func(i, h int)) {
+	if n <= 0 {
+		return
+	}
+	threads := t.threads
+	if threads > n {
+		threads = n
+	}
+	var pc panicCollector
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	switch t.schedule {
+	case Dynamic:
+		var next atomic.Int64
+		for h := 0; h < threads; h++ {
+			go func(h int) {
+				defer wg.Done()
+				pc.guard(func() {
+					for {
+						lo := int(next.Add(int64(t.chunk))) - t.chunk
+						if lo >= n {
+							return
+						}
+						hi := min(lo+t.chunk, n)
+						for i := lo; i < hi; i++ {
+							body(i, h)
+						}
+					}
+				})
+			}(h)
+		}
+	default: // Static
+		for h := 0; h < threads; h++ {
+			go func(h int) {
+				defer wg.Done()
+				pc.guard(func() {
+					lo, hi := staticRange(n, threads, h)
+					for i := lo; i < hi; i++ {
+						body(i, h)
+					}
+				})
+			}(h)
+		}
+	}
+	wg.Wait()
+	pc.rethrow()
+}
+
+// ForAppend is Algorithm 1 (ApplyMT) from the DASSA paper: each thread runs
+// body over its share of [0, n) iterations, appending any number of results
+// to a private per-thread vector (no locks on the hot path); sizes are then
+// prefix-summed and the private vectors are copied into a single shared
+// output in parallel, preserving iteration order under the static schedule.
+func ForAppend[T any](t *Team, n int, body func(i int, out *[]T)) []T {
+	if n <= 0 {
+		return nil
+	}
+	threads := t.threads
+	if threads > n {
+		threads = n
+	}
+	parts := make([][]T, threads)
+	var pc panicCollector
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for h := 0; h < threads; h++ {
+		go func(h int) {
+			defer wg.Done()
+			pc.guard(func() {
+				lo, hi := staticRange(n, threads, h)
+				local := make([]T, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					body(i, &local)
+				}
+				parts[h] = local
+			})
+		}(h)
+	}
+	wg.Wait()
+	pc.rethrow()
+	// Prefix-sum of per-thread sizes (the "single" section in Algorithm 1).
+	offsets := make([]int, threads+1)
+	for h := 0; h < threads; h++ {
+		offsets[h+1] = offsets[h] + len(parts[h])
+	}
+	out := make([]T, offsets[threads])
+	// Parallel copy of each private vector into its slot.
+	wg.Add(threads)
+	for h := 0; h < threads; h++ {
+		go func(h int) {
+			defer wg.Done()
+			copy(out[offsets[h]:offsets[h+1]], parts[h])
+		}(h)
+	}
+	wg.Wait()
+	return out
+}
+
+// ForAppendLocked is the naive alternative to ForAppend used by the merge
+// ablation bench: a single shared output guarded by a mutex. Results are in
+// nondeterministic order.
+func ForAppendLocked[T any](t *Team, n int, body func(i int, out *[]T)) []T {
+	var mu sync.Mutex
+	var out []T
+	t.For(n, func(i int) {
+		var local []T
+		body(i, &local)
+		if len(local) == 0 {
+			return
+		}
+		mu.Lock()
+		out = append(out, local...)
+		mu.Unlock()
+	})
+	return out
+}
+
+// ReduceF64 computes a parallel elementwise-free scalar reduction: body(i)
+// values combined with op (op must be associative and commutative), starting
+// from identity.
+func ReduceF64(t *Team, n int, identity float64, body func(i int) float64, op func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return identity
+	}
+	threads := t.threads
+	if threads > n {
+		threads = n
+	}
+	partial := make([]float64, threads)
+	var pc panicCollector
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for h := 0; h < threads; h++ {
+		go func(h int) {
+			defer wg.Done()
+			pc.guard(func() {
+				acc := identity
+				lo, hi := staticRange(n, threads, h)
+				for i := lo; i < hi; i++ {
+					acc = op(acc, body(i))
+				}
+				partial[h] = acc
+			})
+		}(h)
+	}
+	wg.Wait()
+	pc.rethrow()
+	acc := identity
+	for _, v := range partial {
+		acc = op(acc, v)
+	}
+	return acc
+}

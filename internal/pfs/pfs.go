@@ -1,0 +1,209 @@
+// Package pfs models a parallel file system and interconnect in the style
+// of Cori's Lustre + Aries setup. DASSA's experiments (Figures 7, 8 and 11)
+// are shaped by operation counts — file opens, read requests, broadcasts,
+// all-to-all exchanges — multiplied by storage and network constants. This
+// repository measures the counts by running the real readers and engines,
+// then uses this analytical model to project times at paper scale. Both the
+// raw counts and the projections are reported, so nothing about the
+// comparison hides inside the model.
+package pfs
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Trace records the physical operations one I/O strategy performed across
+// all processes. Traces add, so per-rank traces can be accumulated.
+type Trace struct {
+	Opens        int64 // file opens (metadata server RPCs)
+	Reads        int64 // distinct read requests (disk seeks / IOPS units)
+	BytesRead    int64
+	Writes       int64 // distinct write requests
+	BytesWritten int64
+
+	Broadcasts int64 // collective broadcasts issued during I/O
+	BcastBytes int64 // total payload carried by those broadcasts
+
+	ExchangeRounds int64 // pairwise all-to-all rounds
+	ExchangeBytes  int64 // total payload carried by exchanges
+
+	Processes int // concurrent requesters (ranks)
+}
+
+// Add accumulates other into t (Processes is kept as the max).
+func (t *Trace) Add(other Trace) {
+	t.Opens += other.Opens
+	t.Reads += other.Reads
+	t.BytesRead += other.BytesRead
+	t.Writes += other.Writes
+	t.BytesWritten += other.BytesWritten
+	t.Broadcasts += other.Broadcasts
+	t.BcastBytes += other.BcastBytes
+	t.ExchangeRounds += other.ExchangeRounds
+	t.ExchangeBytes += other.ExchangeBytes
+	if other.Processes > t.Processes {
+		t.Processes = other.Processes
+	}
+}
+
+func (t Trace) String() string {
+	return fmt.Sprintf("opens=%d reads=%d readMB=%.1f writes=%d bcasts=%d exchanges=%d procs=%d",
+		t.Opens, t.Reads, float64(t.BytesRead)/1e6, t.Writes, t.Broadcasts, t.ExchangeRounds, t.Processes)
+}
+
+// Model holds the hardware constants of a storage system + interconnect.
+type Model struct {
+	Name string
+
+	// OpenLatency is the metadata RPC cost of one file open.
+	OpenLatency time.Duration
+	// MDSParallelism is how many opens the metadata service absorbs
+	// concurrently.
+	MDSParallelism int
+
+	// SeekLatency is the fixed cost of one read/write request at the
+	// storage target (position + request handling).
+	SeekLatency time.Duration
+	// MaxIOPS is the aggregate request ceiling of all storage targets.
+	MaxIOPS float64
+
+	// OSTBandwidth is per-storage-target streaming bandwidth (bytes/s) and
+	// NumOSTs the number of targets; their product is aggregate bandwidth.
+	OSTBandwidth float64
+	NumOSTs      int
+	// ClientBandwidth caps a single process's streaming rate (bytes/s).
+	ClientBandwidth float64
+
+	// NetworkLatency is the per-message interconnect latency and
+	// NetworkBandwidth the per-link rate (bytes/s).
+	NetworkLatency   time.Duration
+	NetworkBandwidth float64
+	// BisectionBandwidth is the aggregate rate available to concurrent
+	// pairwise transfers (bytes/s); all-to-all exchanges stream at this rate.
+	BisectionBandwidth float64
+}
+
+// CoriLike returns constants approximating the paper's testbed: a Cray XC40
+// with a disk-based Lustre file system (fixed number of disk OSTs, modest
+// IOPS) and an Aries interconnect. Values are order-of-magnitude realistic;
+// the experiments depend on their ratios, not their absolute precision.
+func CoriLike() Model {
+	return Model{
+		Name:               "cori-lustre",
+		OpenLatency:        300 * time.Microsecond,
+		MDSParallelism:     256,
+		SeekLatency:        500 * time.Microsecond,
+		MaxIOPS:            1_000_000,
+		OSTBandwidth:       3e9, // 3 GB/s per OST
+		NumOSTs:            240,
+		ClientBandwidth:    1e9,
+		NetworkLatency:     2 * time.Microsecond,
+		NetworkBandwidth:   10e9,
+		BisectionBandwidth: 5e12,
+	}
+}
+
+// BurstBufferLike returns the paper's §VI.E suggestion: an SSD burst buffer
+// with far higher IOPS and lower per-request latency, otherwise Cori-like.
+func BurstBufferLike() Model {
+	m := CoriLike()
+	m.Name = "burst-buffer"
+	m.SeekLatency = 100 * time.Microsecond
+	m.MaxIOPS = 12_000_000
+	m.NumOSTs = 288
+	m.OSTBandwidth = 6e9
+	return m
+}
+
+// Breakdown is a projected I/O time split into its mechanism components.
+type Breakdown struct {
+	Open      time.Duration // metadata/open cost
+	Request   time.Duration // per-request (seek/IOPS) cost
+	Stream    time.Duration // raw bandwidth cost
+	Broadcast time.Duration // collective broadcast cost
+	Exchange  time.Duration // all-to-all exchange cost
+}
+
+// Total sums the components.
+func (b Breakdown) Total() time.Duration {
+	return b.Open + b.Request + b.Stream + b.Broadcast + b.Exchange
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%v (open=%v request=%v stream=%v bcast=%v exchange=%v)",
+		b.Total().Round(time.Microsecond), b.Open.Round(time.Microsecond),
+		b.Request.Round(time.Microsecond), b.Stream.Round(time.Microsecond),
+		b.Broadcast.Round(time.Microsecond), b.Exchange.Round(time.Microsecond))
+}
+
+// Project converts an operation trace into a projected wall-clock breakdown
+// under this model. Assumptions: operations are evenly spread across
+// processes (the DASSA partitioners balance them), and request-handling is
+// limited both by per-process pipelining and by the aggregate IOPS ceiling.
+func (m Model) Project(t Trace) Breakdown {
+	p := t.Processes
+	if p <= 0 {
+		p = 1
+	}
+	var b Breakdown
+
+	// Opens serialize through the metadata service.
+	mds := min(m.MDSParallelism, p)
+	if mds < 1 {
+		mds = 1
+	}
+	b.Open = time.Duration(float64(t.Opens) / float64(mds) * float64(m.OpenLatency))
+
+	// Requests: a process pipelines its own requests at SeekLatency each;
+	// the storage system as a whole is capped at MaxIOPS.
+	ops := t.Reads + t.Writes
+	perProc := float64(ops) / float64(p) * float64(m.SeekLatency)
+	agg := float64(ops) / m.MaxIOPS * float64(time.Second)
+	b.Request = time.Duration(math.Max(perProc, agg))
+
+	// Streaming: aggregate OST bandwidth vs per-client cap.
+	bytes := float64(t.BytesRead + t.BytesWritten)
+	aggBW := float64(m.NumOSTs) * m.OSTBandwidth
+	perClient := bytes / float64(p) / m.ClientBandwidth
+	b.Stream = time.Duration(math.Max(bytes/aggBW, perClient) * float64(time.Second))
+
+	// Broadcasts: binomial tree, log2(p) stages, each carrying the payload.
+	if t.Broadcasts > 0 {
+		stages := math.Log2(float64(p))
+		if stages < 1 {
+			stages = 1
+		}
+		perBcast := float64(t.BcastBytes) / float64(t.Broadcasts)
+		one := stages * (float64(m.NetworkLatency) + perBcast/m.NetworkBandwidth*float64(time.Second))
+		b.Broadcast = time.Duration(float64(t.Broadcasts) * one)
+	}
+
+	// Exchanges: rounds pay latency; payload streams at bisection bandwidth.
+	if t.ExchangeRounds > 0 || t.ExchangeBytes > 0 {
+		lat := float64(t.ExchangeRounds) * float64(m.NetworkLatency)
+		stream := float64(t.ExchangeBytes) / m.BisectionBandwidth * float64(time.Second)
+		b.Exchange = time.Duration(lat + stream)
+	}
+	return b
+}
+
+// Efficiency returns parallel efficiency in percent. For strong scaling,
+// pass baseTime measured at baseUnits workers and t at n workers:
+// eff = base*baseUnits / (t*n). For weak scaling pass baseUnits == n's
+// baseline worker count and equal per-worker work; then use WeakEfficiency.
+func Efficiency(baseTime time.Duration, baseUnits int, t time.Duration, n int) float64 {
+	if t <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(baseTime) * float64(baseUnits) / (float64(t) * float64(n)) * 100
+}
+
+// WeakEfficiency returns t1/tN × 100 for weak scaling.
+func WeakEfficiency(baseTime, t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(baseTime) / float64(t) * 100
+}

@@ -1,0 +1,136 @@
+package pfs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceAdd(t *testing.T) {
+	a := Trace{Opens: 1, Reads: 2, BytesRead: 100, Broadcasts: 1, Processes: 4}
+	b := Trace{Opens: 3, Writes: 5, BytesWritten: 50, ExchangeRounds: 2, Processes: 2}
+	a.Add(b)
+	if a.Opens != 4 || a.Reads != 2 || a.Writes != 5 || a.BytesRead != 100 ||
+		a.BytesWritten != 50 || a.Broadcasts != 1 || a.ExchangeRounds != 2 {
+		t.Errorf("Add produced %+v", a)
+	}
+	if a.Processes != 4 {
+		t.Errorf("Processes = %d, want max(4,2)=4", a.Processes)
+	}
+}
+
+func TestProjectZeroTrace(t *testing.T) {
+	b := CoriLike().Project(Trace{})
+	if b.Total() != 0 {
+		t.Errorf("empty trace projects %v", b)
+	}
+}
+
+func TestProjectMonotonicInOps(t *testing.T) {
+	m := CoriLike()
+	small := m.Project(Trace{Opens: 10, Reads: 100, BytesRead: 1e6, Processes: 4})
+	big := m.Project(Trace{Opens: 100, Reads: 10000, BytesRead: 1e9, Processes: 4})
+	if big.Total() <= small.Total() {
+		t.Errorf("more work projected faster: %v vs %v", big, small)
+	}
+}
+
+func TestBroadcastCostScalesWithProcesses(t *testing.T) {
+	// The collective-per-file pathology: n broadcasts get more expensive as
+	// the tree deepens with more processes.
+	m := CoriLike()
+	tr := Trace{Broadcasts: 1000, BcastBytes: 1000 * 1e6}
+	tr.Processes = 2
+	c2 := m.Project(tr).Broadcast
+	tr.Processes = 1024
+	c1024 := m.Project(tr).Broadcast
+	if c1024 <= c2 {
+		t.Errorf("broadcast cost should grow with process count: p=2 %v, p=1024 %v", c2, c1024)
+	}
+}
+
+func TestCommunicationAvoidingBeatsCollectivePerFile(t *testing.T) {
+	// The core Figure 7 relationship must hold in the model: for n files and
+	// p processes where every process needs 1/p of every file,
+	// "collective-per-file" (n broadcasts, merged reads) is slower than
+	// "communication-avoiding" (n whole-file reads + one exchange).
+	m := CoriLike()
+	const (
+		nFiles    = 1440
+		p         = 90
+		fileBytes = int64(700e6) // ~1-minute DAS file
+	)
+	collective := Trace{
+		Opens:      nFiles,
+		Reads:      nFiles, // merged into one large read per file
+		BytesRead:  nFiles * fileBytes,
+		Broadcasts: nFiles,
+		BcastBytes: nFiles * fileBytes, // results broadcast back per file
+		Processes:  p,
+	}
+	avoiding := Trace{
+		Opens:          nFiles,
+		Reads:          nFiles, // each process reads whole files
+		BytesRead:      nFiles * fileBytes,
+		ExchangeRounds: p - 1,
+		ExchangeBytes:  nFiles * fileBytes, // one all-to-all carries the data
+		Processes:      p,
+	}
+	tc := m.Project(collective).Total()
+	ta := m.Project(avoiding).Total()
+	if ta >= tc {
+		t.Fatalf("communication-avoiding (%v) should beat collective-per-file (%v)", ta, tc)
+	}
+	// The paper reports ~37× on average; accept a broad band (>4×).
+	if ratio := float64(tc) / float64(ta); ratio < 4 {
+		t.Errorf("speedup = %.1f×, want > 4×", ratio)
+	}
+}
+
+func TestIOPSCeilingCausesScalingDecay(t *testing.T) {
+	// Figure 11: with per-process request counts fixed (weak scaling), the
+	// aggregate IOPS ceiling makes I/O time grow with process count.
+	m := CoriLike()
+	perProcReads := int64(2000)
+	t1 := m.Project(Trace{Reads: perProcReads * 91, BytesRead: 91 * 171e6, Processes: 91}).Total()
+	t16 := m.Project(Trace{Reads: perProcReads * 1456, BytesRead: 1456 * 171e6, Processes: 1456}).Total()
+	if eff := WeakEfficiency(t1, t16); eff >= 99 {
+		t.Errorf("weak-scaling I/O efficiency at 16× nodes = %.1f%%, want visible decay", eff)
+	}
+}
+
+func TestBurstBufferBeatsDiskOnIOPS(t *testing.T) {
+	tr := Trace{Reads: 1_000_000, BytesRead: 1e9, Processes: 128}
+	disk := CoriLike().Project(tr).Total()
+	bb := BurstBufferLike().Project(tr).Total()
+	if bb >= disk {
+		t.Errorf("burst buffer (%v) should beat disk (%v) on an IOPS-bound trace", bb, disk)
+	}
+}
+
+func TestEfficiencyMath(t *testing.T) {
+	// Perfect strong scaling: 4× workers, 4× faster.
+	if got := Efficiency(40*time.Second, 1, 10*time.Second, 4); got < 99.9 || got > 100.1 {
+		t.Errorf("perfect strong scaling eff = %.2f", got)
+	}
+	// Half-efficient: 4× workers, 2× faster.
+	if got := Efficiency(40*time.Second, 1, 20*time.Second, 4); got < 49.9 || got > 50.1 {
+		t.Errorf("half strong scaling eff = %.2f", got)
+	}
+	if got := WeakEfficiency(10*time.Second, 20*time.Second); got < 49.9 || got > 50.1 {
+		t.Errorf("weak eff = %.2f", got)
+	}
+	if Efficiency(time.Second, 1, 0, 4) != 0 || WeakEfficiency(time.Second, 0) != 0 {
+		t.Error("zero-time guards broken")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := CoriLike().Project(Trace{Opens: 5, Reads: 10, BytesRead: 1e6, Processes: 2})
+	if b.String() == "" || b.Total() <= 0 {
+		t.Error("Breakdown formatting broken")
+	}
+	tr := Trace{Opens: 1}
+	if tr.String() == "" {
+		t.Error("Trace formatting broken")
+	}
+}

@@ -12,15 +12,38 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"dassa/internal/arrayudf"
+	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/detect"
+	"dassa/internal/faults"
 	"dassa/internal/haee"
 	"dassa/internal/mpi"
 	"dassa/internal/pfs"
 )
+
+// Exit codes, so scripted pipelines can branch on outcome: 0 = success
+// (including degraded-but-completed, which prints a WARNING line), 1 = data
+// error (unreadable input, failed run), 2 = usage error (bad flags).
+const (
+	exitData  = 1
+	exitUsage = 2
+)
+
+// fatalUsage reports a bad invocation (exit 2).
+func fatalUsage(format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(exitUsage)
+}
+
+// fatalData reports a failed run over real data (exit 1).
+func fatalData(v ...any) {
+	log.Print(v...)
+	os.Exit(exitData)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -48,15 +71,36 @@ func main() {
 		overlap = flag.Int("overlap", 0, "stacked: window overlap (raw samples)")
 		sta     = flag.Int("sta", 0, "stalta: short window (samples; default rate/5)")
 		lta     = flag.Int("lta", 0, "stalta: long window (samples; default 4*rate)")
+
+		retries = flag.Int("retries", 0, "retry transient read failures up to N times (exponential backoff)")
+		failPol = flag.String("fail-policy", "abort", "member file still bad after retries: abort | degrade (NaN gaps + quality report)")
+		inject  = flag.String("inject", "", "fault injection spec for chaos testing, e.g. 'seed=1,transient=0.3,max=3,missing=a.dasf'")
 	)
 	flag.Parse()
 	if *in == "" {
-		log.Fatal("-in is required")
+		fatalUsage("-in is required")
+	}
+	policy, err := dass.ParseFailPolicy(*failPol)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	if *retries < 0 {
+		fatalUsage("-retries must be ≥ 0, got %d", *retries)
+	}
+	if *retries > 0 {
+		dasf.SetRetryPolicy(faults.WithRetries(*retries))
+	}
+	if *inject != "" {
+		cfg, err := faults.ParseSpec(*inject)
+		if err != nil {
+			fatalUsage("%v", err)
+		}
+		dasf.SetInjector(faults.New(cfg))
 	}
 
 	v, err := dass.OpenView(*in)
 	if err != nil {
-		log.Fatal(err)
+		fatalData(err)
 	}
 	nch, nt := v.Shape()
 	sampleRate := *rate
@@ -66,7 +110,7 @@ func main() {
 		}
 	}
 	if sampleRate == 0 {
-		log.Fatal("sampling rate unknown; pass -rate")
+		fatalUsage("sampling rate unknown; pass -rate")
 	}
 	fmt.Printf("input: %s (%d channels × %d samples, %d file(s), %.0f Hz)\n",
 		*in, nch, nt, v.NumMembers(), sampleRate)
@@ -75,15 +119,15 @@ func main() {
 	if *mode == "mpi" {
 		engMode = haee.PureMPI
 	} else if *mode != "hybrid" {
-		log.Fatalf("unknown -mode %q", *mode)
+		fatalUsage("unknown -mode %q", *mode)
 	}
-	engCfg := haee.Config{Nodes: *nodes, CoresPerNode: *cores, Mode: engMode}
+	engCfg := haee.Config{Nodes: *nodes, CoresPerNode: *cores, Mode: engMode, FailPolicy: policy}
 	switch *read {
 	case "independent":
 	case "commavoid":
 		engCfg.ReadStrategy = arrayudf.CommAvoidingRead
 	default:
-		log.Fatalf("unknown -read %q", *read)
+		fatalUsage("unknown -read %q", *read)
 	}
 	eng := haee.New(engCfg)
 
@@ -92,11 +136,11 @@ func main() {
 	case "localsimi":
 		p := detect.LocalSimiParams{M: *m, K: *k, L: *l, Stride: *stride}
 		if err := p.Validate(); err != nil {
-			log.Fatal(err)
+			fatalUsage("%v", err)
 		}
 		rep, err = eng.RunPoints(v, haee.PointsWorkload{Spec: p.Spec(), UDF: p.UDF()}, *out)
 		if err != nil {
-			log.Fatal(err)
+			fatalData(err)
 		}
 		regions := detect.FindEvents(rep.Output, 1.5)
 		fmt.Printf("detected %d events:\n", len(regions))
@@ -114,12 +158,13 @@ func main() {
 			ResampleQ:     *resampQ,
 			MasterChannel: *master,
 			MaxLag:        *maxlag,
+			FailPolicy:    policy,
 		}
 		if params.CutoffHz == 0 {
 			params.CutoffHz = sampleRate / 8
 		}
 		if err := params.Validate(); err != nil {
-			log.Fatal(err)
+			fatalUsage("%v", err)
 		}
 		parts := params.Workload(nt)
 		wl := haee.RowsWorkload{
@@ -130,7 +175,7 @@ func main() {
 		}
 		rep, err = eng.RunRows(v, wl, *out)
 		if err != nil {
-			log.Fatal(err)
+			fatalData(err)
 		}
 		fmt.Printf("noise correlations: %d channels × %d lags against master channel %d\n",
 			rep.Output.Channels, rep.Output.Samples, *master)
@@ -144,6 +189,7 @@ func main() {
 				ResampleQ:     *resampQ,
 				MasterChannel: *master,
 				MaxLag:        *maxlag,
+				FailPolicy:    policy,
 			},
 			WindowSamples:  *window,
 			OverlapSamples: *overlap,
@@ -155,7 +201,7 @@ func main() {
 			params.WindowSamples = max(nt/8, 64)
 		}
 		if err := params.Validate(); err != nil {
-			log.Fatal(err)
+			fatalUsage("%v", err)
 		}
 		// The stacked master is prepared per rank from the view.
 		rowLen := params.StackedRowLen()
@@ -174,7 +220,7 @@ func main() {
 			},
 		}, *out)
 		if err != nil {
-			log.Fatal(err)
+			fatalData(err)
 		}
 		fmt.Printf("stacked noise correlations: %d channels × %d lags over %d windows\n",
 			rep.Output.Channels, rep.Output.Samples, params.NumWindows(nt))
@@ -187,17 +233,17 @@ func main() {
 			params.LTASamples = max(int(4*sampleRate), params.STASamples+1)
 		}
 		if err := params.Validate(); err != nil {
-			log.Fatal(err)
+			fatalUsage("%v", err)
 		}
 		rep, err = eng.RunPoints(v, haee.PointsWorkload{Spec: params.Spec(), UDF: params.UDF()}, *out)
 		if err != nil {
-			log.Fatal(err)
+			fatalData(err)
 		}
 		flat := rep.Output.Data
 		fmt.Printf("STA/LTA map: %d channels × %d samples, max ratio %.2f\n",
 			rep.Output.Channels, rep.Output.Samples, detect.MaxRatio(flat))
 	default:
-		log.Fatalf("unknown -op %q (want localsimi, interferometry, stacked, or stalta)", *op)
+		fatalUsage("unknown -op %q (want localsimi, interferometry, stacked, or stalta)", *op)
 	}
 
 	fmt.Printf("engine: %s, %d node(s) × %d core(s)\n", engMode, *nodes, *cores)
@@ -207,7 +253,19 @@ func main() {
 	fmt.Printf("I/O: %d opens, %d read calls, %.1f MB read; est. memory/node %.1f MB\n",
 		rep.ReadTrace.Opens, rep.ReadTrace.Reads, float64(rep.ReadTrace.BytesRead)/1e6,
 		float64(rep.MemPerNode)/1e6)
+	if tr := rep.ReadTrace; tr.Retries > 0 || tr.Faults > 0 || tr.SlowReads > 0 || tr.MaskedSamples > 0 {
+		fmt.Printf("robustness: %d retries, %d faults, %d slow reads, %d masked samples\n",
+			tr.Retries, tr.Faults, tr.SlowReads, tr.MaskedSamples)
+	}
 	if *out != "" {
 		fmt.Printf("result written to %s\n", *out)
+	}
+	if rep.Quality.Degraded() {
+		// Degraded-but-completed is still a success exit (0): the surviving
+		// channels are valid and the report says exactly what is missing.
+		fmt.Printf("WARNING: run degraded; %s\n", rep.Quality)
+		for _, f := range rep.Quality.LostFiles {
+			fmt.Printf("WARNING:   lost member: %s\n", f)
+		}
 	}
 }

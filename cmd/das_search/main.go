@@ -14,10 +14,28 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"dassa/internal/dass"
 )
+
+// Exit codes mirror das_analyze: 1 = data error (unreadable directory or
+// member, failed merge), 2 = usage error (bad flags, bad regex).
+const (
+	exitData  = 1
+	exitUsage = 2
+)
+
+func fatalUsage(format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(exitUsage)
+}
+
+func fatalData(v ...any) {
+	log.Print(v...)
+	os.Exit(exitData)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -32,10 +50,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *start < 0 || *count < 0 {
+		fatalUsage("-s and -c must be non-negative")
+	}
+
 	t0 := time.Now()
 	cat, err := dass.ScanDirCached(*dir)
 	if err != nil {
-		log.Fatal(err)
+		fatalData(err)
 	}
 	scanTime := time.Since(t0)
 
@@ -45,7 +67,8 @@ func main() {
 	case *expr != "":
 		matches, err = cat.SearchRegex(*expr)
 		if err != nil {
-			log.Fatal(err)
+			// A regex that does not compile is the caller's mistake.
+			fatalUsage("%v", err)
 		}
 	case *start != 0 && *count > 0:
 		matches = cat.SearchStartCount(*start, *count)
@@ -67,7 +90,7 @@ func main() {
 	if *vca != "" {
 		t0 = time.Now()
 		if _, err := dass.CreateVCA(*vca, matches); err != nil {
-			log.Fatal(err)
+			fatalData(err)
 		}
 		fmt.Printf("created VCA %s in %v (metadata only)\n", *vca, time.Since(t0).Round(time.Microsecond))
 	}
@@ -75,7 +98,7 @@ func main() {
 		t0 = time.Now()
 		tr, err := dass.CreateRCA(*rca, matches)
 		if err != nil {
-			log.Fatal(err)
+			fatalData(err)
 		}
 		fmt.Printf("created RCA %s in %v (%.1f MB copied)\n",
 			*rca, time.Since(t0).Round(time.Millisecond), float64(tr.BytesRead)/1e6)

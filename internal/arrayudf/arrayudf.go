@@ -103,6 +103,10 @@ type Spec struct {
 	// ReadStrategy selects how blocks are loaded; nil means each rank reads
 	// its own extended block independently (the original ArrayUDF pattern).
 	ReadStrategy ReadStrategy
+	// FailPolicy decides whether a member file that stays bad after retries
+	// aborts the world (default) or degrades into NaN-masked gaps plus a
+	// QualityReport.
+	FailPolicy dass.FailPolicy
 }
 
 func (sp Spec) stride() int {
@@ -118,26 +122,44 @@ func (sp Spec) OutSamples(nt int) int {
 }
 
 // ReadStrategy loads one rank's channel block [chLo, chHi) (ghost-extended
-// bounds, view-relative) over the view's full time extent.
-type ReadStrategy func(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D, pfs.Trace)
+// bounds, view-relative) over the view's full time extent. The policy says
+// what to do with members that stay bad after retries; the QualityReport
+// (non-nil on rank 0 under dass.FailDegrade) accounts for what was lost.
+type ReadStrategy func(c *mpi.Comm, v *dass.View, chLo, chHi int, policy dass.FailPolicy) (*dasf.Array2D, pfs.Trace, *dass.QualityReport)
 
 // IndependentRead is the default strategy: every rank issues its own
 // hyperslab reads against the view (O(p×files) requests on a VCA). An
 // empty channel range returns an empty array without touching storage.
-func IndependentRead(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D, pfs.Trace) {
+func IndependentRead(c *mpi.Comm, v *dass.View, chLo, chHi int, policy dass.FailPolicy) (*dasf.Array2D, pfs.Trace, *dass.QualityReport) {
+	var data *dasf.Array2D
+	var local pfs.Trace
+	var gaps []dass.Gap
 	if chLo >= chHi {
 		_, nt := v.Shape()
-		return dasf.NewArray2D(0, nt), pfs.Trace{}
+		data = dasf.NewArray2D(0, nt)
+	} else {
+		sub, err := v.SubsetChannels(chLo, chHi)
+		if err != nil {
+			panic(fmt.Errorf("arrayudf: ghost-extended subset: %w", err))
+		}
+		d, tr, subGaps, err := sub.ReadPolicy(policy)
+		if err != nil {
+			panic(fmt.Errorf("arrayudf: block read: %w", err))
+		}
+		data = d
+		local = tr
+		// Lift sub-view gap channels into view coordinates for the report.
+		for _, g := range subGaps {
+			g.ChLo += chLo
+			g.ChHi += chLo
+			gaps = append(gaps, g)
+		}
 	}
-	sub, err := v.SubsetChannels(chLo, chHi)
-	if err != nil {
-		panic(fmt.Sprintf("arrayudf: ghost-extended subset: %v", err))
+	if policy != dass.FailDegrade {
+		return data, local, nil
 	}
-	data, tr, err := sub.Read()
-	if err != nil {
-		panic(fmt.Sprintf("arrayudf: block read: %v", err))
-	}
-	return data, tr
+	// Collective: every rank participates, empty partitions included.
+	return data, local, dass.GatherQuality(c, v, gaps, local)
 }
 
 // Block is one rank's loaded portion of the array, ghost channels included.
@@ -150,8 +172,9 @@ type Block struct {
 
 // LoadBlock reads the calling rank's ghost-extended channel block. The
 // strategy runs on every rank — including ranks whose partition is empty —
-// because strategies may contain collective operations.
-func LoadBlock(c *mpi.Comm, v *dass.View, spec Spec) (Block, pfs.Trace) {
+// because strategies may contain collective operations. The QualityReport
+// is non-nil only on rank 0 under dass.FailDegrade.
+func LoadBlock(c *mpi.Comm, v *dass.View, spec Spec) (Block, pfs.Trace, *dass.QualityReport) {
 	nch, _ := v.Shape()
 	lo, hi := dass.Partition(nch, c.Size(), c.Rank())
 	gLo := max(lo-spec.GhostChannels, 0)
@@ -167,11 +190,12 @@ func LoadBlock(c *mpi.Comm, v *dass.View, spec Spec) (Block, pfs.Trace) {
 		read = IndependentRead
 	}
 	var tr pfs.Trace
-	blk.Data, tr = read(c, v, gLo, gHi)
+	var q *dass.QualityReport
+	blk.Data, tr, q = read(c, v, gLo, gHi, spec.FailPolicy)
 	if lo >= hi {
 		blk.Data = nil
 	}
-	return blk, tr
+	return blk, tr, q
 }
 
 // stencilFor builds the stencil for owned channel ch (rank-relative).
@@ -197,6 +221,9 @@ type Result struct {
 	ChHi int
 	// ReadTrace is the global read trace (rank 0 only).
 	ReadTrace pfs.Trace
+	// Quality accounts for degraded reads (rank 0 only, under
+	// dass.FailDegrade; nil otherwise).
+	Quality *dass.QualityReport
 }
 
 // Apply is the original ArrayUDF execution: every rank loads its
@@ -204,11 +231,11 @@ type Result struct {
 // time) cell sequentially. The result keeps the rank's rows; use
 // dass.GatherBlocks-style collection or WriteResult to assemble.
 func Apply(c *mpi.Comm, v *dass.View, spec Spec, udf PointUDF) Result {
-	blk, tr := LoadBlock(c, v, spec)
+	blk, tr, q := LoadBlock(c, v, spec)
 	_, nt := v.Shape()
 	outT := spec.OutSamples(nt)
 	own := blk.OwnedChannels()
-	res := Result{ChLo: blk.ChLo, ChHi: blk.ChHi, ReadTrace: tr, Data: dasf.NewArray2D(max(own, 0), outT)}
+	res := Result{ChLo: blk.ChLo, ChHi: blk.ChHi, ReadTrace: tr, Quality: q, Data: dasf.NewArray2D(max(own, 0), outT)}
 	if own <= 0 {
 		return res
 	}
@@ -228,9 +255,9 @@ func Apply(c *mpi.Comm, v *dass.View, spec Spec, udf PointUDF) Result {
 // ApplyRows is Apply for RowUDFs: udf runs once per owned channel and
 // returns a row of exactly rowLen values.
 func ApplyRows(c *mpi.Comm, v *dass.View, spec Spec, rowLen int, udf RowUDF) Result {
-	blk, tr := LoadBlock(c, v, spec)
+	blk, tr, q := LoadBlock(c, v, spec)
 	own := blk.OwnedChannels()
-	res := Result{ChLo: blk.ChLo, ChHi: blk.ChHi, ReadTrace: tr, Data: dasf.NewArray2D(max(own, 0), rowLen)}
+	res := Result{ChLo: blk.ChLo, ChHi: blk.ChHi, ReadTrace: tr, Quality: q, Data: dasf.NewArray2D(max(own, 0), rowLen)}
 	if own <= 0 {
 		return res
 	}

@@ -251,7 +251,7 @@ func TestLoadBlockTraceCountsPerRank(t *testing.T) {
 	v, _ := makeView(t, 8, 4)
 	var localOpens, totalOpens int64
 	_, err := mpi.Run(4, func(c *mpi.Comm) {
-		_, tr := LoadBlock(c, v, Spec{})
+		_, tr, _ := LoadBlock(c, v, Spec{})
 		sum := mpi.Reduce(c, 0, []int64{tr.Opens}, mpi.SumI64)
 		if c.Rank() == 0 {
 			localOpens = tr.Opens

@@ -21,7 +21,7 @@ import (
 // on a huge world), a halo would have to traverse multiple ranks; the
 // strategy then falls back to independent reads. The branch is decided
 // from globally agreed quantities, so all ranks take it together.
-func CommAvoidingRead(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D, pfs.Trace) {
+func CommAvoidingRead(c *mpi.Comm, v *dass.View, chLo, chHi int, policy dass.FailPolicy) (*dasf.Array2D, pfs.Trace, *dass.QualityReport) {
 	nch, nt := v.Shape()
 	p := c.Size()
 	rank := c.Rank()
@@ -36,10 +36,10 @@ func CommAvoidingRead(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D,
 	nominalV := mpi.Allreduce(c, []int64{int64(max(ghostLo, ghostHi))}, mpi.MaxI64)
 	nominal := int(nominalV[0])
 	if minBlock := nch / p; minBlock == 0 || nominal > minBlock {
-		return IndependentRead(c, v, chLo, chHi)
+		return IndependentRead(c, v, chLo, chHi, policy)
 	}
 
-	blk, tr := dass.ReadCommAvoiding(c, v)
+	blk, tr, q := dass.ReadCommAvoidingPolicy(c, v, policy)
 	own := blk.Data // my partition's rows over the full time extent
 
 	out := dasf.NewArray2D(chHi-chLo, nt)
@@ -47,7 +47,7 @@ func CommAvoidingRead(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D,
 		copy(out.Row(ch-chLo), own.Row(ch-ownLo))
 	}
 	if nominal == 0 || p == 1 {
-		return out, tr
+		return out, tr, q
 	}
 
 	const (
@@ -90,5 +90,7 @@ func CommAvoidingRead(c *mpi.Comm, v *dass.View, chLo, chHi int) (*dasf.Array2D,
 			copy(out.Row(dstCh-chLo), rows[i*nt:(i+1)*nt])
 		}
 	}
-	return out, tr
+	// NaN-masked gaps ride the halo exchange like any other rows, so ghost
+	// channels of a degraded neighbor are masked too.
+	return out, tr, q
 }

@@ -68,7 +68,7 @@ func TestCommAvoidingStrategyReducesOpens(t *testing.T) {
 		var opens int64
 		_, err := mpi.Run(p, func(c *mpi.Comm) {
 			spec := Spec{GhostChannels: 1, ReadStrategy: strategy}
-			_, tr := LoadBlock(c, v, spec)
+			_, tr, _ := LoadBlock(c, v, spec)
 			sum := mpi.Reduce(c, 0, []int64{tr.Opens}, mpi.SumI64)
 			if c.Rank() == 0 {
 				opens = sum[0]

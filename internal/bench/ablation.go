@@ -188,7 +188,7 @@ func RunAblations(o Options) (AblationResult, error) {
 			var opens int64
 			_, err := mpi.Run(4, func(c *mpi.Comm) {
 				spec := arrayudf.Spec{GhostChannels: 1, ReadStrategy: strategy}
-				_, tr := arrayudf.LoadBlock(c, v, spec)
+				_, tr, _ := arrayudf.LoadBlock(c, v, spec)
 				sum := mpi.Reduce(c, 0, []int64{tr.Opens}, mpi.SumI64)
 				if c.Rank() == 0 {
 					opens = sum[0]

@@ -81,7 +81,7 @@ func RunFig11(o Options) (Fig11Result, error) {
 	for p := 1; p <= o.Nodes; p *= 2 {
 		var tr pfs.Trace
 		_, err := mpi.Run(p, func(c *mpi.Comm) {
-			_, t := arrayudf.LoadBlock(c, v, arrayudf.Spec{})
+			_, t, _ := arrayudf.LoadBlock(c, v, arrayudf.Spec{})
 			sum := mpi.Reduce(c, 0, []int64{t.Opens, t.Reads, t.BytesRead}, mpi.SumI64)
 			if c.Rank() == 0 {
 				tr = pfs.Trace{Opens: sum[0], Reads: sum[1], BytesRead: sum[2], Processes: p}

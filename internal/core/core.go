@@ -21,6 +21,7 @@ import (
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/detect"
+	"dassa/internal/faults"
 	"dassa/internal/haee"
 	"dassa/internal/mpi"
 	"dassa/internal/pfs"
@@ -37,6 +38,14 @@ type Config struct {
 	// NodeMemoryBytes, when positive, makes runs fail with ErrOutOfMemory
 	// instead of exceeding the per-node budget.
 	NodeMemoryBytes int64
+	// MaxRetries retries transient storage failures up to this many times
+	// per operation (with exponential backoff). Zero keeps the historical
+	// fail-on-first-error behaviour. Applied process-wide at New.
+	MaxRetries int
+	// FailPolicy decides what a member file that stays bad after retries
+	// does to a run: dass.FailAbort (default) kills it, dass.FailDegrade
+	// masks the loss with NaN gaps and fills in Report.Quality.
+	FailPolicy dass.FailPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -58,9 +67,14 @@ type Framework struct {
 	cfg Config
 }
 
-// New creates a framework with the given layout.
+// New creates a framework with the given layout. A positive MaxRetries
+// installs the process-wide retry policy every storage read goes through.
 func New(cfg Config) *Framework {
-	return &Framework{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	if cfg.MaxRetries > 0 {
+		dasf.SetRetryPolicy(faults.WithRetries(cfg.MaxRetries))
+	}
+	return &Framework{cfg: cfg}
 }
 
 func (f *Framework) engine() *haee.Engine {
@@ -73,6 +87,7 @@ func (f *Framework) engine() *haee.Engine {
 		CoresPerNode:    f.cfg.CoresPerNode,
 		Mode:            mode,
 		NodeMemoryBytes: f.cfg.NodeMemoryBytes,
+		FailPolicy:      f.cfg.FailPolicy,
 	})
 }
 
@@ -155,10 +170,16 @@ type Report struct {
 	ReadTrace  pfs.Trace
 	MemPerNode int64
 	Phases     struct{ Read, Compute, Write string }
+	// Quality accounts for degraded reads (non-nil only under
+	// dass.FailDegrade); Quality.Degraded() reports whether data was lost.
+	Quality *dass.QualityReport
 }
 
+// Degraded reports whether the run completed with data loss.
+func (r Report) Degraded() bool { return r.Quality.Degraded() }
+
 func reportOf(rep haee.Report) Report {
-	out := Report{ReadTrace: rep.ReadTrace, MemPerNode: rep.MemPerNode}
+	out := Report{ReadTrace: rep.ReadTrace, MemPerNode: rep.MemPerNode, Quality: rep.Quality}
 	out.Phases.Read = rep.ReadTime.String()
 	out.Phases.Compute = rep.ComputeTime.String()
 	out.Phases.Write = rep.WriteTime.String()
@@ -235,6 +256,9 @@ func (f *Framework) Interferometry(v *dass.View, opt InterferometryOptions) (*da
 	if err := opt.Validate(); err != nil {
 		return nil, Report{}, err
 	}
+	if opt.FailPolicy == dass.FailAbort {
+		opt.FailPolicy = f.cfg.FailPolicy // framework default unless overridden
+	}
 	_, nt := v.Shape()
 	parts := opt.Workload(nt)
 	rep, err := f.engine().RunRows(v, haee.RowsWorkload{
@@ -279,13 +303,16 @@ func (f *Framework) StackedInterferometry(v *dass.View, opt StackedInterferometr
 	if err := opt.Validate(); err != nil {
 		return nil, Report{}, err
 	}
+	if opt.FailPolicy == dass.FailAbort {
+		opt.FailPolicy = f.cfg.FailPolicy
+	}
 	rep, err := f.engine().RunRows(v, haee.RowsWorkload{
 		Spec:   arrayudf.Spec{},
 		RowLen: opt.StackedRowLen(),
 		Prepare: func(c *mpi.Comm, view *dass.View) (any, int64, pfs.Trace) {
 			m, tr, err := opt.PrepareStackedMasterFromView(view)
 			if err != nil {
-				panic(fmt.Sprintf("core: stacked master: %v", err))
+				panic(fmt.Errorf("core: stacked master: %w", err))
 			}
 			return m, m.Bytes(), tr
 		},

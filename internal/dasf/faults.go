@@ -1,0 +1,49 @@
+package dasf
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"dassa/internal/faults"
+)
+
+// ErrCorrupt classifies every DASF format violation — bad magic, truncated
+// blocks, out-of-bounds chunk indexes, impossible shapes. Wrapping the
+// sentinel lets the retry layer (and callers) separate permanent structural
+// damage from transient I/O errors with errors.Is.
+var ErrCorrupt = errors.New("dasf: corrupt file")
+
+// corruptf builds an ErrCorrupt-classified error with a formatted message.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
+}
+
+// The injector and retry policy are process-wide hooks consulted by Open:
+// every storage consumer (views, parallel readers, catalogs, engines) goes
+// through dasf, so one hook covers the whole stack without threading an
+// extra parameter through every signature. Readers capture both at Open,
+// so a reader's behaviour is stable even if the hooks change mid-run.
+var (
+	injectorHook atomic.Pointer[faults.Injector]
+	retryHook    atomic.Pointer[faults.RetryPolicy]
+)
+
+// SetInjector installs (or with nil, removes) the process-wide fault
+// injector beneath Open and all hyperslab reads.
+func SetInjector(in *faults.Injector) { injectorHook.Store(in) }
+
+// Injector returns the installed fault injector, or nil.
+func Injector() *faults.Injector { return injectorHook.Load() }
+
+// SetRetryPolicy installs the process-wide retry policy applied to every
+// Open and read operation. The zero policy (the default) retries nothing.
+func SetRetryPolicy(p faults.RetryPolicy) { retryHook.Store(&p) }
+
+// RetryPolicy returns the installed retry policy (zero value when unset).
+func RetryPolicy() faults.RetryPolicy {
+	if p := retryHook.Load(); p != nil {
+		return *p
+	}
+	return faults.RetryPolicy{}
+}

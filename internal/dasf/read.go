@@ -10,6 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"dassa/internal/faults"
 )
 
 // IOStats counts the physical operations a Reader or ParallelWriter has
@@ -21,6 +24,10 @@ type IOStats struct {
 	BytesRead    int64
 	Writes       int64 // distinct positioned write calls
 	BytesWritten int64
+
+	Retries        int64 // operations re-issued after transient failures
+	FaultsInjected int64 // injected failures hit (transient + permanent)
+	SlowReads      int64 // reads delayed by injected straggler latency
 }
 
 // Add accumulates other into s.
@@ -30,6 +37,9 @@ func (s *IOStats) Add(other IOStats) {
 	s.BytesRead += other.BytesRead
 	s.Writes += other.Writes
 	s.BytesWritten += other.BytesWritten
+	s.Retries += other.Retries
+	s.FaultsInjected += other.FaultsInjected
+	s.SlowReads += other.SlowReads
 }
 
 // Reader reads one DASF file: metadata eagerly, array data on demand via
@@ -38,6 +48,9 @@ func (s *IOStats) Add(other IOStats) {
 // index load internally.
 type Reader struct {
 	f     *os.File
+	path  string
+	inj   *faults.Injector   // captured at Open; nil when no injection
+	retry faults.RetryPolicy // captured at Open
 	info  Info
 	stats IOStats
 
@@ -51,19 +64,57 @@ type chunkRef struct {
 	clen int
 }
 
-// Open opens path and parses its metadata. The array data is not touched;
-// this is the cheap "metadata-only" access VCA construction relies on.
-func Open(path string) (*Reader, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("dasf: %w", err)
+// readAt is the single physical-read choke point: the installed fault
+// injector sees every read here, so injected stragglers, transient EIOs,
+// and permanent corruption hit exactly where a real file system would.
+func (r *Reader) readAt(buf []byte, off int64) (int, error) {
+	if r.inj != nil {
+		if d := r.inj.ReadDelay(r.path); d > 0 {
+			r.stats.SlowReads++
+			time.Sleep(d)
+		}
+		if err := r.inj.ReadFault(r.path); err != nil {
+			r.stats.FaultsInjected++
+			return 0, fmt.Errorf("dasf: %s: %w", r.path, err)
+		}
 	}
-	r := &Reader{f: f}
-	r.stats.Opens++
-	if err := r.parseInfo(path); err != nil {
-		f.Close()
+	return r.f.ReadAt(buf, off)
+}
+
+// Open opens path and parses its metadata, retrying transient failures
+// under the installed retry policy. The array data is not touched; this is
+// the cheap "metadata-only" access VCA construction relies on.
+func Open(path string) (*Reader, error) {
+	inj := Injector()
+	pol := RetryPolicy()
+	var r *Reader
+	var cum IOStats // stats of failed attempts, so retried work is counted
+	attempts, err := pol.Do(func() error {
+		if inj != nil {
+			if ferr := inj.OpenFault(path); ferr != nil {
+				cum.FaultsInjected++
+				return fmt.Errorf("dasf: %s: %w", path, ferr)
+			}
+		}
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return fmt.Errorf("dasf: %w", ferr)
+		}
+		rr := &Reader{f: f, path: path, inj: inj, retry: pol}
+		rr.stats.Opens++
+		if perr := rr.parseInfo(path); perr != nil {
+			cum.Add(rr.stats)
+			f.Close()
+			return perr
+		}
+		r = rr
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
+	r.stats.Add(cum)
+	r.stats.Retries += int64(attempts - 1)
 	return r, nil
 }
 
@@ -83,7 +134,7 @@ func (r *Reader) parseInfo(path string) error {
 	// 8 KiB covers any realistic global metadata block; the parser re-reads
 	// exactly what it needs if a block is longer.
 	buf := make([]byte, 8*1024)
-	n, err := r.f.ReadAt(buf, 0)
+	n, err := r.readAt(buf, 0)
 	if err != nil && err != io.EOF {
 		return fmt.Errorf("dasf: %s: %w", path, err)
 	}
@@ -93,7 +144,7 @@ func (r *Reader) parseInfo(path string) error {
 
 	need := func(k int, what string) error {
 		if k > len(buf) {
-			return fmt.Errorf("dasf: %s: truncated %s", path, what)
+			return corruptf("dasf: %s: truncated %s", path, what)
 		}
 		return nil
 	}
@@ -101,10 +152,10 @@ func (r *Reader) parseInfo(path string) error {
 		return err
 	}
 	if string(buf[:4]) != Magic {
-		return fmt.Errorf("dasf: %s: bad magic %q", path, buf[:4])
+		return corruptf("dasf: %s: bad magic %q", path, buf[:4])
 	}
 	if v := binary.LittleEndian.Uint16(buf[4:]); v != Version {
-		return fmt.Errorf("dasf: %s: unsupported version %d", path, v)
+		return corruptf("dasf: %s: unsupported version %d", path, v)
 	}
 	kind := Kind(binary.LittleEndian.Uint16(buf[6:]))
 	pos := headerSize
@@ -118,12 +169,12 @@ func (r *Reader) parseInfo(path string) error {
 	// beyond this bound is rejected, not fetched.
 	const maxMetaBytes = 16 << 20
 	if gmLen > maxMetaBytes {
-		return fmt.Errorf("dasf: %s: global metadata declares %d bytes (max %d)", path, gmLen, maxMetaBytes)
+		return corruptf("dasf: %s: global metadata declares %d bytes (max %d)", path, gmLen, maxMetaBytes)
 	}
 	if pos+gmLen > len(buf) {
 		// Metadata larger than the probe read: fetch exactly what's needed.
 		bigger := make([]byte, pos+gmLen+4096)
-		n, err = r.f.ReadAt(bigger, 0)
+		n, err = r.readAt(bigger, 0)
 		if err != nil && err != io.EOF {
 			return fmt.Errorf("dasf: %s: %w", path, err)
 		}
@@ -131,15 +182,15 @@ func (r *Reader) parseInfo(path string) error {
 		r.stats.Reads++
 		r.stats.BytesRead += int64(n)
 		if pos+gmLen > len(buf) {
-			return fmt.Errorf("dasf: %s: truncated global metadata", path)
+			return corruptf("dasf: %s: truncated global metadata", path)
 		}
 	}
 	global, used, err := decodeMeta(buf[pos : pos+gmLen])
 	if err != nil {
-		return fmt.Errorf("dasf: %s: %w", path, err)
+		return corruptf("dasf: %s: %v", path, err)
 	}
 	if used != gmLen {
-		return fmt.Errorf("dasf: %s: global metadata length mismatch (%d vs %d)", path, used, gmLen)
+		return corruptf("dasf: %s: global metadata length mismatch (%d vs %d)", path, used, gmLen)
 	}
 	pos += gmLen
 
@@ -151,10 +202,10 @@ func (r *Reader) parseInfo(path string) error {
 	dtype := DType(buf[pos+8])
 	pos += 9
 	if dtype != Float32 && dtype != Float64 {
-		return fmt.Errorf("dasf: %s: unknown dtype %d", path, dtype)
+		return corruptf("dasf: %s: unknown dtype %d", path, dtype)
 	}
 	if nch <= 0 || nt <= 0 {
-		return fmt.Errorf("dasf: %s: invalid shape %d×%d", path, nch, nt)
+		return corruptf("dasf: %s: invalid shape %d×%d", path, nch, nt)
 	}
 
 	r.info = Info{Path: path, Kind: kind, Global: global, NumChannels: nch, NumSamples: nt, DType: dtype}
@@ -167,7 +218,7 @@ func (r *Reader) parseInfo(path string) error {
 		layout := Layout(buf[pos])
 		pos++
 		if layout != Contiguous && layout != ChunkedDeflate {
-			return fmt.Errorf("dasf: %s: unknown layout %d", path, layout)
+			return corruptf("dasf: %s: unknown layout %d", path, layout)
 		}
 		r.info.Layout = layout
 		if err := need(pos+4, "per-channel metadata length"); err != nil {
@@ -191,7 +242,7 @@ func (r *Reader) parseInfo(path string) error {
 			want = r.info.DataOffset + int64(nch)*chunkRefSize // index at minimum
 		}
 		if st.Size() < want {
-			return fmt.Errorf("dasf: %s: file is %d bytes, array needs %d", path, st.Size(), want)
+			return corruptf("dasf: %s: file is %d bytes, array needs %d", path, st.Size(), want)
 		}
 	case KindVCA:
 		if err := need(pos+4, "member count"); err != nil {
@@ -200,13 +251,13 @@ func (r *Reader) parseInfo(path string) error {
 		nm := int(binary.LittleEndian.Uint32(buf[pos:]))
 		pos += 4
 		if nm == 0 {
-			return fmt.Errorf("dasf: %s: VCA with zero members", path)
+			return corruptf("dasf: %s: VCA with zero members", path)
 		}
 		// Each member record needs ≥ 18 bytes; a count beyond what the
 		// buffer could hold is corruption, and allocation is bounded by the
 		// buffer size either way.
 		if nm > (len(buf)-pos)/18+1 {
-			return fmt.Errorf("dasf: %s: VCA declares %d members, buffer holds at most %d",
+			return corruptf("dasf: %s: VCA declares %d members, buffer holds at most %d",
 				path, nm, (len(buf)-pos)/18+1)
 		}
 		dir := filepath.Dir(path)
@@ -233,9 +284,25 @@ func (r *Reader) parseInfo(path string) error {
 			}
 			pos += 16
 		}
+		// Mirror WriteVCA's invariants: every member shares the VCA's channel
+		// count, extents are positive, and they sum to the declared total.
+		// Without this, corrupt member extents turn into absurd allocations
+		// downstream before any member read can catch the mismatch.
+		total := int64(0)
+		for i, m := range members {
+			if m.NumChannels != r.info.NumChannels || m.NumSamples <= 0 {
+				return corruptf("dasf: %s: member %d has impossible shape %d×%d in a %d-channel VCA",
+					path, i, m.NumChannels, m.NumSamples, r.info.NumChannels)
+			}
+			total += int64(m.NumSamples)
+		}
+		if total != int64(r.info.NumSamples) {
+			return corruptf("dasf: %s: member extents sum to %d, VCA declares %d",
+				path, total, r.info.NumSamples)
+		}
 		r.info.Members = members
 	default:
-		return fmt.Errorf("dasf: %s: unknown kind %d", path, kind)
+		return corruptf("dasf: %s: unknown kind %d", path, kind)
 	}
 	return nil
 }
@@ -257,17 +324,24 @@ func (r *Reader) PerChannelMeta() ([]Meta, error) {
 	}
 	length := r.info.DataOffset - r.info.PerChannelOffset
 	buf := make([]byte, length)
-	if _, err := r.f.ReadAt(buf, r.info.PerChannelOffset); err != nil {
-		return nil, fmt.Errorf("dasf: %s: %w", r.info.Path, err)
+	attempts, err := r.retry.Do(func() error {
+		if _, rerr := r.readAt(buf, r.info.PerChannelOffset); rerr != nil {
+			return fmt.Errorf("dasf: %s: %w", r.info.Path, rerr)
+		}
+		r.stats.Reads++
+		r.stats.BytesRead += length
+		return nil
+	})
+	r.stats.Retries += int64(attempts - 1)
+	if err != nil {
+		return nil, err
 	}
-	r.stats.Reads++
-	r.stats.BytesRead += length
 	out := make([]Meta, 0, r.info.NumChannels)
 	pos := 0
 	for c := 0; c < r.info.NumChannels; c++ {
 		m, used, err := decodeMeta(buf[pos:])
 		if err != nil {
-			return nil, fmt.Errorf("dasf: %s: channel %d metadata: %w", r.info.Path, c, err)
+			return nil, corruptf("dasf: %s: channel %d metadata: %v", r.info.Path, c, err)
 		}
 		pos += used
 		out = append(out, m)
@@ -289,36 +363,50 @@ func (r *Reader) ReadSlab(chLo, chHi, tLo, tHi int) (*Array2D, error) {
 		return nil, fmt.Errorf("dasf: %s: slab [%d:%d)×[%d:%d) out of bounds %d×%d",
 			r.info.Path, chLo, chHi, tLo, tHi, nch, nt)
 	}
-	esz := r.info.DType.Size()
 	out := NewArray2D(chHi-chLo, tHi-tLo)
-	if r.info.Layout == ChunkedDeflate {
-		return out, r.readSlabChunked(out, chLo, chHi, tLo, tHi)
+	attempts, err := r.retry.Do(func() error {
+		return r.readSlabOnce(out, chLo, chHi, tLo, tHi)
+	})
+	r.stats.Retries += int64(attempts - 1)
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// readSlabOnce is one attempt at filling out; ReadSlab retries it under the
+// reader's policy when the failure is transient.
+func (r *Reader) readSlabOnce(out *Array2D, chLo, chHi, tLo, tHi int) error {
+	if r.info.Layout == ChunkedDeflate {
+		return r.readSlabChunked(out, chLo, chHi, tLo, tHi)
+	}
+	nt := r.info.NumSamples
+	esz := r.info.DType.Size()
 	if tLo == 0 && tHi == nt {
 		// Contiguous: all requested channels in one read call.
 		nbytes := int64(chHi-chLo) * int64(nt) * int64(esz)
 		buf := make([]byte, nbytes)
 		off := r.info.DataOffset + int64(chLo)*int64(nt)*int64(esz)
-		if _, err := r.f.ReadAt(buf, off); err != nil {
-			return nil, fmt.Errorf("dasf: %s: %w", r.info.Path, err)
+		if _, err := r.readAt(buf, off); err != nil {
+			return fmt.Errorf("dasf: %s: %w", r.info.Path, err)
 		}
 		r.stats.Reads++
 		r.stats.BytesRead += nbytes
 		decodeSamples(out.Data, buf, r.info.DType)
-		return out, nil
+		return nil
 	}
 	rowBytes := (tHi - tLo) * esz
 	buf := make([]byte, rowBytes)
 	for c := chLo; c < chHi; c++ {
 		off := r.info.DataOffset + (int64(c)*int64(nt)+int64(tLo))*int64(esz)
-		if _, err := r.f.ReadAt(buf, off); err != nil {
-			return nil, fmt.Errorf("dasf: %s: channel %d: %w", r.info.Path, c, err)
+		if _, err := r.readAt(buf, off); err != nil {
+			return fmt.Errorf("dasf: %s: channel %d: %w", r.info.Path, c, err)
 		}
 		r.stats.Reads++
 		r.stats.BytesRead += int64(rowBytes)
 		decodeSamples(out.Row(c-chLo), buf, r.info.DType)
 	}
-	return out, nil
+	return nil
 }
 
 // ReadAll reads the entire array with one contiguous read.
@@ -335,7 +423,7 @@ func (r *Reader) loadChunkIndex() ([]chunkRef, error) {
 	}
 	nch := r.info.NumChannels
 	buf := make([]byte, nch*chunkRefSize)
-	if _, err := r.f.ReadAt(buf, r.info.DataOffset); err != nil {
+	if _, err := r.readAt(buf, r.info.DataOffset); err != nil {
 		return nil, fmt.Errorf("dasf: %s: chunk index: %w", r.info.Path, err)
 	}
 	r.stats.Reads++
@@ -349,7 +437,7 @@ func (r *Reader) loadChunkIndex() ([]chunkRef, error) {
 		off := int64(binary.LittleEndian.Uint64(buf[c*chunkRefSize:]))
 		clen := int(binary.LittleEndian.Uint32(buf[c*chunkRefSize+8:]))
 		if off < r.info.DataOffset || clen < 0 || off+int64(clen) > st.Size() {
-			return nil, fmt.Errorf("dasf: %s: chunk %d index out of bounds", r.info.Path, c)
+			return nil, corruptf("dasf: %s: chunk %d index out of bounds", r.info.Path, c)
 		}
 		chunks[c] = chunkRef{off: off, clen: clen}
 	}
@@ -370,7 +458,7 @@ func (r *Reader) readSlabChunked(out *Array2D, chLo, chHi, tLo, tHi int) error {
 	for c := chLo; c < chHi; c++ {
 		ref := chunks[c]
 		comp := make([]byte, ref.clen)
-		if _, err := r.f.ReadAt(comp, ref.off); err != nil {
+		if _, err := r.readAt(comp, ref.off); err != nil {
 			return fmt.Errorf("dasf: %s: chunk %d: %w", r.info.Path, c, err)
 		}
 		r.stats.Reads++
@@ -378,7 +466,7 @@ func (r *Reader) readSlabChunked(out *Array2D, chLo, chHi, tLo, tHi int) error {
 		fr := flate.NewReader(bytes.NewReader(comp))
 		if _, err := io.ReadFull(fr, raw); err != nil {
 			fr.Close()
-			return fmt.Errorf("dasf: %s: chunk %d decompress: %w", r.info.Path, c, err)
+			return corruptf("dasf: %s: chunk %d decompress: %v", r.info.Path, c, err)
 		}
 		fr.Close()
 		decodeSamples(out.Row(c-chLo), raw[tLo*esz:tHi*esz], r.info.DType)

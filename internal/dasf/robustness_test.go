@@ -44,6 +44,18 @@ func TestOpenNeverPanicsOnCorruptInput(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The chunked-deflate layout has extra structure to corrupt: a chunk
+	// index whose offsets/lengths must never be trusted, and compressed
+	// payloads that can fail to inflate.
+	zBase := filepath.Join(dir, "base.z.dasf")
+	if err := WriteDataCompressed(zBase, meta, pcm, a, Float32); err != nil {
+		t.Fatal(err)
+	}
+	origZ, err := os.ReadFile(zBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	rng := rand.New(rand.NewSource(77))
 	try := func(name string, content []byte) {
 		p := filepath.Join(dir, name)
@@ -75,7 +87,7 @@ func TestOpenNeverPanicsOnCorruptInput(t *testing.T) {
 	}
 
 	for i := 0; i < 120; i++ {
-		for srcName, src := range map[string][]byte{"data": orig, "vca": origVCA} {
+		for srcName, src := range map[string][]byte{"data": orig, "vca": origVCA, "zdata": origZ} {
 			mut := make([]byte, len(src))
 			copy(mut, src)
 			// 1-8 random byte flips.

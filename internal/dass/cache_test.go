@@ -183,3 +183,60 @@ func timeStampStr(cfg dasgen.Config, idx int) string {
 func filepathBaseTimestamp(name string) string {
 	return timestampRe.FindString(name)
 }
+
+func TestScanDirCachedTruncatedIndex(t *testing.T) {
+	// A crash while the index was being written leaves valid JSON cut off
+	// mid-file. The scanner must treat it like no index at all: full header
+	// rescan, no error, and the rewritten index must round-trip.
+	dir := t.TempDir()
+	cfg := dasgen.Config{
+		Channels: 4, SampleRate: 50, FileSeconds: 1, NumFiles: 4,
+		Seed: 6, DType: dasf.Float64,
+	}
+	if _, err := dasgen.Generate(dir, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ScanDirCached(dir) // build a valid index
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(dir, IndexFileName)
+	raw, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idxPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatalf("truncated index broke the scan: %v", err)
+	}
+	if cold.Len() != cfg.NumFiles {
+		t.Errorf("found %d files, want %d", cold.Len(), cfg.NumFiles)
+	}
+	if cold.Trace.Opens == 0 {
+		t.Error("truncated index was trusted: no headers re-read")
+	}
+	// The rescan rewrote the index; it must round-trip to a warm scan with
+	// zero metadata I/O and identical entries.
+	rebuilt, err := ScanDirCached(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Trace.Opens != 0 {
+		t.Errorf("rewritten index not warm: opens = %d", rebuilt.Trace.Opens)
+	}
+	a, b := warm.Entries(), rebuilt.Entries()
+	if len(a) != len(b) {
+		t.Fatalf("entry count changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Path != b[i].Path || a[i].Timestamp != b[i].Timestamp ||
+			a[i].Info.NumChannels != b[i].Info.NumChannels ||
+			a[i].Info.NumSamples != b[i].Info.NumSamples {
+			t.Errorf("entry %d differs after index rebuild: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package dass
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"dassa/internal/dasf"
+	"dassa/internal/faults"
+	"dassa/internal/mpi"
+	"dassa/internal/pfs"
+)
+
+// The chaos suite drives the parallel readers through the fault-injecting
+// storage layer at the paper's 90-rank stress width: transient faults must
+// be retried away without changing a single bit, and a permanently missing
+// member under the degrade policy must cost exactly its own span — nothing
+// more — with the loss fully accounted in the QualityReport and pfs trace.
+
+// chaosView builds the stress-config dataset (180 channels × 12 member
+// files) and returns the view plus the fault-free reference read, taken
+// before any injector is installed.
+func chaosView(t *testing.T) (*View, *Catalog, *dasf.Array2D) {
+	t.Helper()
+	dir, cat, _ := makeSeries(t, 180, 12)
+	vcaPath := filepath.Join(dir, "v.dasf")
+	if _, err := CreateVCA(vcaPath, cat.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenView(vcaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := v.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, cat, want
+}
+
+// installChaos installs the process-wide injector and retry policy and
+// removes both when the test ends.
+func installChaos(t *testing.T, cfg faults.Config, retries int) *faults.Injector {
+	t.Helper()
+	in := faults.New(cfg)
+	dasf.SetInjector(in)
+	dasf.SetRetryPolicy(faults.WithRetries(retries))
+	t.Cleanup(func() {
+		dasf.SetInjector(nil)
+		dasf.SetRetryPolicy(faults.RetryPolicy{})
+	})
+	return in
+}
+
+// TestChaosTransientBitIdentical injects transient read faults with p=0.3
+// on every member and runs the comm-avoiding reader at 90 ranks with 3
+// retries. MaxAttempts (4) exceeds the injector's streak bound (3), so the
+// run must complete and the output must be bit-identical to the fault-free
+// read — degraded-mode plumbing engaged but nothing lost.
+func TestChaosTransientBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos stress test")
+	}
+	v, _, want := chaosView(t)
+	in := installChaos(t, faults.Config{Seed: 7, TransientProb: 0.3, MaxTransient: 3}, 3)
+
+	const p = 90
+	var got *dasf.Array2D
+	var tr pfs.Trace
+	var q *QualityReport
+	_, err := mpi.Run(p, func(c *mpi.Comm) {
+		blk, trace, rep := ReadCommAvoidingPolicy(c, v, FailDegrade)
+		if a := GatherBlocks(c, v, blk); a != nil {
+			got = a
+		}
+		if c.Rank() == 0 {
+			tr, q = trace, rep
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Degraded() {
+		t.Fatalf("transient-only run reported degraded: %v", q)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("faulted read differs from fault-free at %d", i)
+		}
+	}
+	// The schedule is seeded so at least one of the 12 files must have drawn
+	// a streak; every injected fault must be retried away and both must show
+	// in the reduced trace.
+	if n := in.Counters().Transient; n == 0 {
+		t.Fatal("injector drew no transient faults; pick a different seed")
+	}
+	if tr.Faults == 0 || tr.Retries == 0 {
+		t.Errorf("trace faults=%d retries=%d, want both > 0", tr.Faults, tr.Retries)
+	}
+	if tr.Retries < tr.Faults {
+		t.Errorf("trace retries=%d < faults=%d: some injected fault was not retried", tr.Retries, tr.Faults)
+	}
+	if tr.MaskedSamples != 0 {
+		t.Errorf("clean run masked %d samples", tr.MaskedSamples)
+	}
+}
+
+// TestChaosMissingMemberDegrades deletes one member (by injection) and runs
+// the comm-avoiding reader at 90 ranks under FailDegrade: the run completes,
+// the QualityReport names exactly the lost file/channels/samples, the gap is
+// NaN, and every surviving sample is bit-identical to the fault-free read.
+func TestChaosMissingMemberDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos stress test")
+	}
+	v, cat, want := chaosView(t)
+	const lostIdx = 5
+	lostPath := cat.Entries()[lostIdx].Path
+	installChaos(t, faults.Config{Missing: []string{lostPath}}, 2)
+
+	nch, nt := v.Shape()
+	perFile := nt / v.NumMembers()
+	tLo, tHi := lostIdx*perFile, (lostIdx+1)*perFile
+
+	const p = 90
+	var got *dasf.Array2D
+	var tr pfs.Trace
+	var q *QualityReport
+	_, err := mpi.Run(p, func(c *mpi.Comm) {
+		blk, trace, rep := ReadCommAvoidingPolicy(c, v, FailDegrade)
+		if a := GatherBlocks(c, v, blk); a != nil {
+			got = a
+		}
+		if c.Rank() == 0 {
+			tr, q = trace, rep
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Degraded() {
+		t.Fatal("missing member not reported as degraded")
+	}
+	if len(q.LostFiles) != 1 || q.LostFiles[0] != lostPath {
+		t.Errorf("LostFiles = %v, want exactly [%s]", q.LostFiles, lostPath)
+	}
+	if q.LostChannels != nch {
+		t.Errorf("LostChannels = %d, want %d (a member spans all channels)", q.LostChannels, nch)
+	}
+	wantLost := int64(nch) * int64(tHi-tLo)
+	if q.LostSamples != wantLost {
+		t.Errorf("LostSamples = %d, want %d", q.LostSamples, wantLost)
+	}
+	if len(q.Gaps) != 1 || q.Gaps[0].TLo != tLo || q.Gaps[0].THi != tHi ||
+		q.Gaps[0].ChLo != 0 || q.Gaps[0].ChHi != nch {
+		t.Errorf("Gaps = %+v, want one gap ch[0,%d) t[%d,%d)", q.Gaps, nch, tLo, tHi)
+	}
+	if tr.MaskedSamples != q.LostSamples {
+		t.Errorf("trace masked=%d != report lost=%d", tr.MaskedSamples, q.LostSamples)
+	}
+	// Inside the gap: NaN. Outside: bit-identical to the fault-free read.
+	for c := 0; c < nch; c++ {
+		row, ref := got.Row(c), want.Row(c)
+		for ti := 0; ti < nt; ti++ {
+			if ti >= tLo && ti < tHi {
+				if !math.IsNaN(row[ti]) {
+					t.Fatalf("gap cell (%d,%d) = %v, want NaN", c, ti, row[ti])
+				}
+			} else if row[ti] != ref[ti] {
+				t.Fatalf("surviving cell (%d,%d) differs from fault-free", c, ti)
+			}
+		}
+	}
+}
+
+// TestChaosMissingMemberAborts checks the default policy is unchanged: the
+// same missing member under FailAbort fails the run instead of masking it.
+func TestChaosMissingMemberAborts(t *testing.T) {
+	v, cat, _ := chaosView(t)
+	installChaos(t, faults.Config{Missing: []string{cat.Entries()[3].Path}}, 0)
+	_, err := mpi.Run(8, func(c *mpi.Comm) {
+		blk, _, _ := ReadCommAvoidingPolicy(c, v, FailAbort)
+		GatherBlocks(c, v, blk)
+	})
+	if err == nil {
+		t.Fatal("FailAbort read of a missing member succeeded")
+	}
+	// The sentinel must survive the panic → RankError path so callers can
+	// branch on the cause of a failed parallel run.
+	if !errors.Is(err, ErrMissingMember) {
+		t.Errorf("run error %v does not wrap ErrMissingMember", err)
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("run error %v does not wrap fs.ErrNotExist", err)
+	}
+}
+
+// TestChaosAllReadersAgreeWhenDegraded runs the independent and
+// collective-per-file readers over the same missing member and checks they
+// produce the same masked array and the same loss accounting as each other.
+func TestChaosAllReadersAgreeWhenDegraded(t *testing.T) {
+	v, cat, want := chaosView(t)
+	const lostIdx = 9
+	lostPath := cat.Entries()[lostIdx].Path
+	installChaos(t, faults.Config{Missing: []string{lostPath}}, 1)
+
+	nch, nt := v.Shape()
+	perFile := nt / v.NumMembers()
+	wantLost := int64(nch) * int64(perFile)
+
+	type readerFn func(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs.Trace, *QualityReport)
+	readers := map[string]readerFn{
+		"independent": ReadIndependentPolicy,
+		"collective":  ReadCollectivePerFilePolicy,
+	}
+	for name, read := range readers {
+		var got *dasf.Array2D
+		var tr pfs.Trace
+		var q *QualityReport
+		_, err := mpi.Run(8, func(c *mpi.Comm) {
+			blk, trace, rep := read(c, v, FailDegrade)
+			if a := GatherBlocks(c, v, blk); a != nil {
+				got = a
+			}
+			if c.Rank() == 0 {
+				tr, q = trace, rep
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !q.Degraded() || q.LostSamples != wantLost {
+			t.Errorf("%s: LostSamples = %d (degraded=%v), want %d", name, q.LostSamples, q.Degraded(), wantLost)
+		}
+		if len(q.LostFiles) != 1 || q.LostFiles[0] != lostPath {
+			t.Errorf("%s: LostFiles = %v, want [%s]", name, q.LostFiles, lostPath)
+		}
+		if tr.MaskedSamples != q.LostSamples {
+			t.Errorf("%s: trace masked=%d != lost=%d", name, tr.MaskedSamples, q.LostSamples)
+		}
+		tLo, tHi := lostIdx*perFile, (lostIdx+1)*perFile
+		for c := 0; c < nch; c++ {
+			row, ref := got.Row(c), want.Row(c)
+			for ti := 0; ti < nt; ti++ {
+				inGap := ti >= tLo && ti < tHi
+				if inGap != math.IsNaN(row[ti]) {
+					t.Fatalf("%s: cell (%d,%d) NaN=%v, want %v", name, c, ti, math.IsNaN(row[ti]), inGap)
+				}
+				if !inGap && row[ti] != ref[ti] {
+					t.Fatalf("%s: surviving cell (%d,%d) differs", name, c, ti)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosTraceStringSurfacesRobustness checks the robustness counters
+// reach the human-readable trace line (the pfs surface the tools print).
+func TestChaosTraceStringSurfacesRobustness(t *testing.T) {
+	v, cat, _ := chaosView(t)
+	installChaos(t, faults.Config{Missing: []string{cat.Entries()[0].Path}}, 0)
+	var tr pfs.Trace
+	_, err := mpi.Run(4, func(c *mpi.Comm) {
+		_, trace, _ := ReadIndependentPolicy(c, v, FailDegrade)
+		if c.Rank() == 0 {
+			tr = trace
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	for _, wantSub := range []string{"faults=", "masked="} {
+		if !containsSub(s, wantSub) {
+			t.Errorf("trace %q does not surface %q", s, wantSub)
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -32,7 +32,8 @@ type Block struct {
 // traceVec flattens a trace for an MPI reduction.
 func traceVec(tr pfs.Trace) []int64 {
 	return []int64{tr.Opens, tr.Reads, tr.BytesRead, tr.Writes, tr.BytesWritten,
-		tr.Broadcasts, tr.BcastBytes, tr.ExchangeRounds, tr.ExchangeBytes}
+		tr.Broadcasts, tr.BcastBytes, tr.ExchangeRounds, tr.ExchangeBytes,
+		tr.Retries, tr.Faults, tr.SlowReads, tr.MaskedSamples}
 }
 
 // reduceTrace sums per-rank traces to rank 0. Other ranks get a zero trace.
@@ -44,8 +45,37 @@ func reduceTrace(c *mpi.Comm, tr pfs.Trace) pfs.Trace {
 	return pfs.Trace{
 		Opens: sum[0], Reads: sum[1], BytesRead: sum[2], Writes: sum[3], BytesWritten: sum[4],
 		Broadcasts: sum[5], BcastBytes: sum[6], ExchangeRounds: sum[7], ExchangeBytes: sum[8],
+		Retries: sum[9], Faults: sum[10], SlowReads: sum[11], MaskedSamples: sum[12],
 		Processes: c.Size(),
 	}
+}
+
+// GatherQuality gathers per-rank degrade gaps to rank 0 and builds the
+// run's QualityReport there (nil on other ranks). It is a collective —
+// every rank must call it, with its own local gaps and local (unreduced)
+// trace; the robustness counters are reduced internally.
+func GatherQuality(c *mpi.Comm, v *View, gaps []Gap, local pfs.Trace) *QualityReport {
+	sum := mpi.Reduce(c, 0, []int64{local.Retries, local.Faults, local.SlowReads}, mpi.SumI64)
+	flatGaps := mpi.Gather(c, 0, encodeGaps(gaps))
+	if c.Rank() != 0 {
+		return nil
+	}
+	var all []Gap
+	for _, fg := range flatGaps {
+		all = append(all, decodeGaps(fg, v)...)
+	}
+	return buildReport(all, v, pfs.Trace{Retries: sum[0], Faults: sum[1], SlowReads: sum[2]})
+}
+
+// finishRead is the common tail of every parallel reader: reduce the trace,
+// then (under FailDegrade — world-uniform, so the collectives stay aligned)
+// gather the gaps and build the QualityReport on rank 0.
+func finishRead(c *mpi.Comm, v *View, blk Block, local pfs.Trace, gaps []Gap, policy FailPolicy) (Block, pfs.Trace, *QualityReport) {
+	tr := reduceTrace(c, local)
+	if policy != FailDegrade {
+		return blk, tr, nil
+	}
+	return blk, tr, GatherQuality(c, v, gaps, local)
 }
 
 // ReadIndependent is the naive parallel strategy: every rank reads its own
@@ -55,28 +85,43 @@ func reduceTrace(c *mpi.Comm, tr pfs.Trace) pfs.Trace {
 // pathology §IV-B describes. Returns each rank's block; the globally
 // reduced trace is returned on rank 0.
 //
-// Like all the parallel readers, an I/O failure panics: the whole world
-// must abort together (mpi.Run reports it as a *mpi.RankError), because a
-// rank that bailed out quietly would deadlock its peers at the next
-// collective.
+// Under FailAbort an I/O failure panics: the whole world must abort
+// together (mpi.Run reports it as a *mpi.RankError), because a rank that
+// bailed out quietly would deadlock its peers at the next collective.
 func ReadIndependent(c *mpi.Comm, v *View) (Block, pfs.Trace) {
+	blk, tr, _ := ReadIndependentPolicy(c, v, FailAbort)
+	return blk, tr
+}
+
+// ReadIndependentPolicy is ReadIndependent with an explicit fail policy:
+// under FailDegrade a member that stays bad after retries becomes a
+// NaN-masked gap in this rank's block and a QualityReport entry on rank 0.
+func ReadIndependentPolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs.Trace, *QualityReport) {
 	nch, _ := v.Shape()
 	lo, hi := Partition(nch, c.Size(), c.Rank())
 	blk := Block{ChLo: lo, ChHi: hi}
 	var local pfs.Trace
+	var gaps []Gap
 	if lo < hi {
 		sub, err := v.SubsetChannels(lo, hi)
 		if err != nil {
-			panic(fmt.Sprintf("dass: independent read: %v", err))
+			panic(fmt.Errorf("dass: independent read: %w", err))
 		}
-		data, tr, err := sub.Read()
+		data, tr, subGaps, err := sub.ReadPolicy(policy)
 		if err != nil {
-			panic(fmt.Sprintf("dass: independent read: %v", err))
+			panic(fmt.Errorf("dass: independent read: %w", err))
 		}
 		blk.Data = data
 		local = tr
+		// Sub-view gaps are relative to this rank's channel block; lift them
+		// into view coordinates before the gather.
+		for _, g := range subGaps {
+			g.ChLo += lo
+			g.ChHi += lo
+			gaps = append(gaps, g)
+		}
 	}
-	return blk, reduceTrace(c, local)
+	return finishRead(c, v, blk, local, gaps, policy)
 }
 
 // ReadCollectivePerFile is the baseline from Figure 5a: all processes share
@@ -85,29 +130,37 @@ func ReadIndependent(c *mpi.Comm, v *View) (Block, pfs.Trace) {
 // channel rows. One broadcast per file is exactly the cost the paper
 // blames for this method's poor scaling.
 func ReadCollectivePerFile(c *mpi.Comm, v *View) (Block, pfs.Trace) {
+	blk, tr, _ := ReadCollectivePerFilePolicy(c, v, FailAbort)
+	return blk, tr
+}
+
+// ReadCollectivePerFilePolicy is ReadCollectivePerFile with an explicit
+// fail policy. Under FailDegrade the aggregator broadcasts a NaN-filled
+// slab for a member that stays bad, so every rank masks the same span.
+func ReadCollectivePerFilePolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs.Trace, *QualityReport) {
 	p := c.Size()
 	nch, nt := v.Shape()
 	lo, hi := Partition(nch, p, c.Rank())
 	blk := Block{ChLo: lo, ChHi: hi, Data: dasf.NewArray2D(hi-lo, nt)}
 	var local pfs.Trace
+	var gaps []Gap
 	for _, sp := range v.memberSpans() {
 		root := sp.idx % p
 		var flat []float64
 		width := sp.tHi - sp.tLo
 		if c.Rank() == root {
-			r, err := dasf.Open(v.memberPath(sp.idx))
+			part, err := v.readMemberSpan(sp, &local)
 			if err != nil {
-				panic(fmt.Sprintf("dass: collective read: %v", err))
+				if policy == FailAbort {
+					panic(fmt.Errorf("dass: collective read: %w", err))
+				}
+				part = dasf.NewArray2D(nch, width)
+				fillNaN(part, 0, nch, 0, width)
+				g := Gap{Member: sp.idx, File: v.memberPath(sp.idx),
+					ChLo: 0, ChHi: nch, TLo: sp.destOff, THi: sp.destOff + width}
+				gaps = append(gaps, g)
+				local.MaskedSamples += g.Samples()
 			}
-			part, err := r.ReadSlab(v.chLo, v.chHi, sp.tLo, sp.tHi)
-			st := r.Stats()
-			r.Close()
-			if err != nil {
-				panic(fmt.Sprintf("dass: collective read: %v", err))
-			}
-			local.Opens += st.Opens
-			local.Reads += st.Reads
-			local.BytesRead += st.BytesRead
 			flat = part.Data
 			local.Broadcasts++
 			local.BcastBytes += int64(len(flat)) * 8
@@ -120,7 +173,7 @@ func ReadCollectivePerFile(c *mpi.Comm, v *View) (Block, pfs.Trace) {
 			copy(dst[sp.destOff:sp.destOff+width], src)
 		}
 	}
-	return blk, reduceTrace(c, local)
+	return finishRead(c, v, blk, local, gaps, policy)
 }
 
 // ReadCommAvoiding is the paper's communication-avoiding method (Figure
@@ -130,12 +183,22 @@ func ReadCollectivePerFile(c *mpi.Comm, v *View) (Block, pfs.Trace) {
 // channel block over the full time axis. For n files on p ranks this is
 // O(n) large reads and O(n/p) exchanges — no broadcasts at all.
 func ReadCommAvoiding(c *mpi.Comm, v *View) (Block, pfs.Trace) {
+	blk, tr, _ := ReadCommAvoidingPolicy(c, v, FailAbort)
+	return blk, tr
+}
+
+// ReadCommAvoidingPolicy is ReadCommAvoiding with an explicit fail policy.
+// Under FailDegrade the rank that owns a member that stays bad exchanges
+// NaN rows in its place — the masking rides the normal all-to-all, so no
+// extra collective is needed and surviving channels are untouched.
+func ReadCommAvoidingPolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs.Trace, *QualityReport) {
 	p := c.Size()
 	rank := c.Rank()
 	nch, nt := v.Shape()
 	lo, hi := Partition(nch, p, rank)
 	blk := Block{ChLo: lo, ChHi: hi, Data: dasf.NewArray2D(hi-lo, nt)}
 	var local pfs.Trace
+	var gaps []Gap
 	spans := v.memberSpans()
 	rounds := (len(spans) + p - 1) / p
 	for r := 0; r < rounds; r++ {
@@ -143,19 +206,19 @@ func ReadCommAvoiding(c *mpi.Comm, v *View) (Block, pfs.Trace) {
 		var mine *dasf.Array2D
 		if myIdx < len(spans) {
 			sp := spans[myIdx]
-			rd, err := dasf.Open(v.memberPath(sp.idx))
+			part, err := v.readMemberSpan(sp, &local)
 			if err != nil {
-				panic(fmt.Sprintf("dass: comm-avoiding read: %v", err))
+				if policy == FailAbort {
+					panic(fmt.Errorf("dass: comm-avoiding read: %w", err))
+				}
+				width := sp.tHi - sp.tLo
+				part = dasf.NewArray2D(nch, width)
+				fillNaN(part, 0, nch, 0, width)
+				g := Gap{Member: sp.idx, File: v.memberPath(sp.idx),
+					ChLo: 0, ChHi: nch, TLo: sp.destOff, THi: sp.destOff + width}
+				gaps = append(gaps, g)
+				local.MaskedSamples += g.Samples()
 			}
-			part, err := rd.ReadSlab(v.chLo, v.chHi, sp.tLo, sp.tHi)
-			st := rd.Stats()
-			rd.Close()
-			if err != nil {
-				panic(fmt.Sprintf("dass: comm-avoiding read: %v", err))
-			}
-			local.Opens += st.Opens
-			local.Reads += st.Reads
-			local.BytesRead += st.BytesRead
 			mine = part
 		}
 		// Personalized exchange: destination d gets its channel rows from
@@ -197,7 +260,7 @@ func ReadCommAvoiding(c *mpi.Comm, v *View) (Block, pfs.Trace) {
 			}
 		}
 	}
-	return blk, reduceTrace(c, local)
+	return finishRead(c, v, blk, local, gaps, policy)
 }
 
 // GatherBlocks reassembles per-rank blocks into the full view array on rank

@@ -1,0 +1,231 @@
+package dass
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"sort"
+	"strings"
+
+	"dassa/internal/dasf"
+	"dassa/internal/pfs"
+)
+
+// ErrMissingMember classifies a VCA member file that does not exist (deleted
+// from the archive, or injected missing). It wraps the underlying not-exist
+// error, so errors.Is(err, ErrMissingMember) and errors.Is(err,
+// fs.ErrNotExist) both hold.
+var ErrMissingMember = errors.New("dass: missing VCA member")
+
+// FailPolicy decides what a reader does when a member file stays bad after
+// all retries are spent.
+type FailPolicy int
+
+const (
+	// FailAbort poisons the whole world on the first permanently failed
+	// member — the seed repository's behaviour, and the right call when a
+	// partial answer is worse than none.
+	FailAbort FailPolicy = iota
+	// FailDegrade masks the failed member's span with NaN, records the loss
+	// in a QualityReport, and lets every surviving channel produce its exact
+	// fault-free result.
+	FailDegrade
+)
+
+func (p FailPolicy) String() string {
+	if p == FailDegrade {
+		return "degrade"
+	}
+	return "abort"
+}
+
+// ParseFailPolicy parses the -fail-policy flag grammar.
+func ParseFailPolicy(s string) (FailPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "abort", "":
+		return FailAbort, nil
+	case "degrade":
+		return FailDegrade, nil
+	}
+	return FailAbort, fmt.Errorf("dass: unknown fail policy %q (want abort or degrade)", s)
+}
+
+// Gap is one NaN-masked rectangle of a degraded read, in view-relative
+// coordinates: channels [ChLo, ChHi) over samples [TLo, THi) were lost
+// because File stayed unreadable after retries.
+type Gap struct {
+	Member     int    // member index within the view's VCA (0 for plain files)
+	File       string // physical path of the lost member
+	ChLo, ChHi int
+	TLo, THi   int
+}
+
+// Samples returns how many array cells the gap masks.
+func (g Gap) Samples() int64 {
+	return int64(g.ChHi-g.ChLo) * int64(g.THi-g.TLo)
+}
+
+// gapInts is the number of int64 fields one gap flattens to for an MPI
+// gather (the file path is recovered from the member index on rank 0).
+const gapInts = 5
+
+func encodeGaps(gaps []Gap) []int64 {
+	out := make([]int64, 0, len(gaps)*gapInts)
+	for _, g := range gaps {
+		out = append(out, int64(g.Member), int64(g.ChLo), int64(g.ChHi), int64(g.TLo), int64(g.THi))
+	}
+	return out
+}
+
+func decodeGaps(flat []int64, v *View) []Gap {
+	gaps := make([]Gap, 0, len(flat)/gapInts)
+	for i := 0; i+gapInts <= len(flat); i += gapInts {
+		g := Gap{
+			Member: int(flat[i]),
+			ChLo:   int(flat[i+1]), ChHi: int(flat[i+2]),
+			TLo: int(flat[i+3]), THi: int(flat[i+4]),
+		}
+		g.File = v.memberPath(g.Member)
+		gaps = append(gaps, g)
+	}
+	return gaps
+}
+
+// QualityReport is the per-run account of what a degraded read lost and what
+// the retry layer spent. A nil report (or one with no gaps) means every byte
+// was read clean.
+type QualityReport struct {
+	// Gaps lists the masked rectangles, sorted by member then channel.
+	Gaps []Gap
+	// LostFiles are the distinct member paths that stayed bad, sorted.
+	LostFiles []string
+	// LostChannels counts distinct view channels with at least one masked
+	// sample; LostSamples counts distinct masked cells. Overlapping gaps —
+	// two ranks whose ghost reads cover the same member span report it
+	// twice — are merged, so neither counter double-counts.
+	LostChannels int
+	LostSamples  int64
+	// Retries, Faults and SlowReads echo the run's robustness trace counters.
+	Retries   int64
+	Faults    int64
+	SlowReads int64
+}
+
+// Degraded reports whether any data was lost.
+func (q *QualityReport) Degraded() bool { return q != nil && len(q.Gaps) > 0 }
+
+func (q *QualityReport) String() string {
+	if !q.Degraded() {
+		return "quality: clean (no data lost)"
+	}
+	return fmt.Sprintf("quality: DEGRADED lostFiles=%d lostChannels=%d lostSamples=%d retries=%d faults=%d slow=%d",
+		len(q.LostFiles), q.LostChannels, q.LostSamples, q.Retries, q.Faults, q.SlowReads)
+}
+
+// buildReport assembles a QualityReport from decoded gaps, the view shape,
+// and the already-reduced trace.
+func buildReport(gaps []Gap, v *View, tr pfs.Trace) *QualityReport {
+	q := &QualityReport{
+		Gaps:    gaps,
+		Retries: tr.Retries, Faults: tr.Faults, SlowReads: tr.SlowReads,
+	}
+	sort.Slice(q.Gaps, func(i, j int) bool {
+		a, b := q.Gaps[i], q.Gaps[j]
+		if a.Member != b.Member {
+			return a.Member < b.Member
+		}
+		return a.ChLo < b.ChLo
+	})
+	nch, _ := v.Shape()
+	lost := make([]bool, nch)
+	files := map[string]bool{}
+	for _, g := range q.Gaps {
+		files[g.File] = true
+		for c := g.ChLo; c < g.ChHi && c < nch; c++ {
+			lost[c] = true
+		}
+	}
+	// Count distinct masked cells channel by channel, merging overlapping
+	// time intervals so a span reported by several ranks counts once.
+	for c, l := range lost {
+		if !l {
+			continue
+		}
+		q.LostChannels++
+		var ivs [][2]int
+		for _, g := range q.Gaps {
+			if g.ChLo <= c && c < g.ChHi {
+				ivs = append(ivs, [2]int{g.TLo, g.THi})
+			}
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		end := 0
+		for _, iv := range ivs {
+			lo := max(iv[0], end)
+			if iv[1] > lo {
+				q.LostSamples += int64(iv[1] - lo)
+				end = iv[1]
+			}
+		}
+	}
+	for f := range files {
+		q.LostFiles = append(q.LostFiles, f)
+	}
+	sort.Strings(q.LostFiles)
+	return q
+}
+
+// addStats folds a reader's physical I/O counters — robustness counters
+// included — into a trace.
+func addStats(tr *pfs.Trace, st dasf.IOStats) {
+	tr.Opens += st.Opens
+	tr.Reads += st.Reads
+	tr.BytesRead += st.BytesRead
+	tr.Retries += st.Retries
+	tr.Faults += st.FaultsInjected
+	tr.SlowReads += st.SlowReads
+}
+
+// fillNaN masks rows [chLo, chHi) × samples [tLo, tHi) of out with NaN —
+// the in-band "no data here" marker the detect kernels skip over.
+func fillNaN(out *dasf.Array2D, chLo, chHi, tLo, tHi int) {
+	nan := math.NaN()
+	for c := chLo; c < chHi; c++ {
+		row := out.Row(c)
+		for t := tLo; t < tHi; t++ {
+			row[t] = nan
+		}
+	}
+}
+
+// classifyMemberErr wraps a member read failure with the right sentinel so
+// callers can branch with errors.Is.
+func classifyMemberErr(path string, err error) error {
+	if errors.Is(err, fs.ErrNotExist) {
+		// Double-wrap so both the dass sentinel and fs.ErrNotExist stay
+		// visible to errors.Is.
+		return fmt.Errorf("%w: %s: %w", ErrMissingMember, path, err)
+	}
+	return err
+}
+
+// readMemberSpan reads one member's slab for the view's channel range,
+// folding physical stats into tr. On failure the error is classified; the
+// caller decides (by policy) whether to abort or mask.
+func (v *View) readMemberSpan(sp memberSpan, tr *pfs.Trace) (*dasf.Array2D, error) {
+	path := v.memberPath(sp.idx)
+	r, err := dasf.Open(path)
+	if err != nil {
+		tr.Faults++
+		return nil, classifyMemberErr(path, err)
+	}
+	part, err := r.ReadSlab(v.chLo, v.chHi, sp.tLo, sp.tHi)
+	addStats(tr, r.Stats())
+	r.Close()
+	if err != nil {
+		tr.Faults++
+		return nil, classifyMemberErr(path, err)
+	}
+	return part, nil
+}

@@ -120,29 +120,39 @@ func (v *View) memberPath(i int) string {
 // Read reads the whole view sequentially (single process) and returns the
 // data plus the physical I/O trace. A view over a VCA opens each member it
 // touches — the cost the communication-avoiding parallel reader exists to
-// amortize.
+// amortize. The first failed member aborts the read (FailAbort semantics).
 func (v *View) Read() (*dasf.Array2D, pfs.Trace, error) {
+	out, tr, _, err := v.ReadPolicy(FailAbort)
+	return out, tr, err
+}
+
+// ReadPolicy is Read with an explicit fail policy. Under FailDegrade a
+// member that stays bad after retries is masked with NaN over its time span
+// (all view channels) and reported as a Gap in view-relative coordinates;
+// the error return is then always nil.
+func (v *View) ReadPolicy(policy FailPolicy) (*dasf.Array2D, pfs.Trace, []Gap, error) {
 	var tr pfs.Trace
 	tr.Processes = 1
 	nch, nt := v.Shape()
 	out := dasf.NewArray2D(nch, nt)
+	var gaps []Gap
 	for _, sp := range v.memberSpans() {
-		r, err := dasf.Open(v.memberPath(sp.idx))
+		part, err := v.readMemberSpan(sp, &tr)
 		if err != nil {
-			return nil, tr, err
+			if policy == FailAbort {
+				return nil, tr, nil, err
+			}
+			width := sp.tHi - sp.tLo
+			fillNaN(out, 0, nch, sp.destOff, sp.destOff+width)
+			g := Gap{Member: sp.idx, File: v.memberPath(sp.idx),
+				ChLo: 0, ChHi: nch, TLo: sp.destOff, THi: sp.destOff + width}
+			gaps = append(gaps, g)
+			tr.MaskedSamples += g.Samples()
+			continue
 		}
-		part, err := r.ReadSlab(v.chLo, v.chHi, sp.tLo, sp.tHi)
-		st := r.Stats()
-		r.Close()
-		if err != nil {
-			return nil, tr, err
-		}
-		tr.Opens += st.Opens
-		tr.Reads += st.Reads
-		tr.BytesRead += st.BytesRead
 		for c := 0; c < nch; c++ {
 			copy(out.Data[c*nt+sp.destOff:c*nt+sp.destOff+part.Samples], part.Row(c))
 		}
 	}
-	return out, tr, nil
+	return out, tr, gaps, nil
 }

@@ -43,19 +43,56 @@ func (p LocalSimiParams) Spec() arrayudf.Spec {
 
 // UDF returns Algorithm 2 as a PointUDF: the local similarity of the
 // current cell's window against the best-aligned windows of its ±K channel
-// neighbors.
+// neighbors. NaN-masked gaps (degraded reads) are skipped, not correlated:
+// a cell whose own window is masked scores 0, and masked neighbor windows
+// contribute nothing — so gaps can never manufacture a detection.
 func (p LocalSimiParams) UDF() arrayudf.PointUDF {
 	return func(s *arrayudf.Stencil) float64 {
 		w := s.Window(-p.M, p.M, 0)
+		if hasNaN(w) {
+			return 0
+		}
 		var cPlus, cMinus float64
 		for l := -p.L; l <= p.L; l++ {
 			w1 := s.Window(l-p.M, l+p.M, +p.K)
 			w2 := s.Window(l-p.M, l+p.M, -p.K)
-			cPlus = math.Max(cPlus, daslib.AbsCorr(w, w1))
-			cMinus = math.Max(cMinus, daslib.AbsCorr(w, w2))
+			if !hasNaN(w1) {
+				cPlus = math.Max(cPlus, daslib.AbsCorr(w, w1))
+			}
+			if !hasNaN(w2) {
+				cMinus = math.Max(cMinus, daslib.AbsCorr(w, w2))
+			}
 		}
 		return (cPlus + cMinus) / 2
 	}
+}
+
+// hasNaN reports whether w contains a NaN gap marker.
+func hasNaN(w []float64) bool {
+	for _, v := range w {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// zeroGaps replaces NaN gap markers with zero (silence), so filters and
+// correlations over partially masked rows stay finite. Clean rows are
+// returned unchanged — fault-free runs take the exact same numeric path.
+func zeroGaps(x []float64) []float64 {
+	if !hasNaN(x) {
+		return x
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if math.IsNaN(v) {
+			out[i] = 0
+		} else {
+			out[i] = v
+		}
+	}
+	return out
 }
 
 // InterferometryParams configures Algorithm 3: the ambient-noise
@@ -77,6 +114,10 @@ type InterferometryParams struct {
 	// MaxLag limits the correlation output to ±MaxLag samples (at the
 	// resampled rate). Zero keeps the full correlation.
 	MaxLag int
+	// FailPolicy governs reads performed by the workload itself (the master
+	// channel): under dass.FailDegrade a master whose member file stays bad
+	// is zero-filled over the gap instead of aborting the run.
+	FailPolicy dass.FailPolicy
 }
 
 // Validate checks the parameters.
@@ -98,9 +139,11 @@ func (p InterferometryParams) Validate() error {
 
 // Preprocess is the per-channel front half of Algorithm 3: detrend,
 // zero-phase lowpass, resample. It is applied identically to the master
-// channel and to every analyzed channel.
+// channel and to every analyzed channel. NaN gap markers from degraded
+// reads are treated as silence (zero) so the filters stay finite; clean
+// input passes through bit-identically.
 func (p InterferometryParams) Preprocess(x []float64) ([]float64, error) {
-	w1 := daslib.Detrend(x)
+	w1 := daslib.Detrend(zeroGaps(x))
 	b, a, err := daslib.Butter(p.FilterOrder, daslib.Lowpass, p.CutoffHz/(p.Rate/2))
 	if err != nil {
 		return nil, err
@@ -158,7 +201,7 @@ func (p InterferometryParams) PrepareMaster(v *dass.View) (*Master, pfs.Trace, e
 	if err != nil {
 		return nil, pfs.Trace{}, err
 	}
-	raw, tr, err := sub.Read()
+	raw, tr, _, err := sub.ReadPolicy(p.FailPolicy)
 	if err != nil {
 		return nil, tr, err
 	}
@@ -179,7 +222,7 @@ func (p InterferometryParams) Workload(nt int) RowsWorkloadParts {
 		Prepare: func(c *mpi.Comm, v *dass.View) (any, int64, pfs.Trace) {
 			m, tr, err := p.PrepareMaster(v)
 			if err != nil {
-				panic(fmt.Sprintf("detect: prepare master: %v", err))
+				panic(fmt.Errorf("detect: prepare master: %w", err))
 			}
 			return m, m.Bytes(), tr
 		},
@@ -187,7 +230,7 @@ func (p InterferometryParams) Workload(nt int) RowsWorkloadParts {
 			master := shared.(*Master)
 			series, err := p.Preprocess(s.Row(0))
 			if err != nil {
-				panic(fmt.Sprintf("detect: preprocess: %v", err))
+				panic(fmt.Errorf("detect: preprocess: %w", err))
 			}
 			corr := daslib.XCorrNormalized(series, master.Series)
 			return TrimLags(corr, len(series), len(master.Series), rowLen)
@@ -201,7 +244,7 @@ func (p InterferometryParams) ScalarUDF(master *Master) arrayudf.PointUDF {
 	return func(s *arrayudf.Stencil) float64 {
 		series, err := p.Preprocess(s.Row(0))
 		if err != nil {
-			panic(fmt.Sprintf("detect: preprocess: %v", err))
+			panic(fmt.Errorf("detect: preprocess: %w", err))
 		}
 		wfft := daslib.FFTReal(series)
 		n := min(len(wfft), len(master.Spectrum))

@@ -104,7 +104,7 @@ func (p StackingParams) PrepareStackedMasterFromView(v *dass.View) (*StackedMast
 	if err != nil {
 		return nil, pfs.Trace{}, err
 	}
-	raw, tr, err := sub.Read()
+	raw, tr, _, err := sub.ReadPolicy(p.FailPolicy)
 	if err != nil {
 		return nil, tr, err
 	}
@@ -130,7 +130,7 @@ func (p StackingParams) StackedUDF(master *StackedMaster) func(s *arrayudf.Stenc
 		for w := 0; w < nw; w++ {
 			series, err := p.Preprocess(raw[w*hop : w*hop+p.WindowSamples])
 			if err != nil {
-				panic(fmt.Sprintf("detect: stacked preprocess: %v", err))
+				panic(fmt.Errorf("detect: stacked preprocess: %w", err))
 			}
 			mw := master.Windows[w]
 			corr := daslib.XCorrNormalized(series, mw)

@@ -40,10 +40,11 @@ func (p STALTAParams) Spec() arrayudf.Spec {
 
 // UDF returns the trigger as a PointUDF: the ratio of mean squared
 // amplitude in the trailing short window to the trailing long window.
+// NaN-masked gaps count as silence, so a degraded span cannot trigger.
 func (p STALTAParams) UDF() arrayudf.PointUDF {
 	return func(s *arrayudf.Stencil) float64 {
-		sta := meanSquare(s.Window(-(p.STASamples - 1), 0, 0))
-		lta := meanSquare(s.Window(-(p.LTASamples - 1), 0, 0))
+		sta := meanSquare(zeroGaps(s.Window(-(p.STASamples - 1), 0, 0)))
+		lta := meanSquare(zeroGaps(s.Window(-(p.LTASamples - 1), 0, 0)))
 		if lta <= 0 {
 			return 0
 		}

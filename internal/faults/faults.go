@@ -1,0 +1,258 @@
+// Package faults is the storage fault-injection layer. A year-long DAS
+// archive on a parallel file system sees transient read errors, corrupt
+// minutes, deleted files, and straggler storage targets as routine events;
+// this package makes every one of them injectable, deterministic, and
+// countable, so the readers and engines above can be tested — and measured —
+// under realistic failure, not just on healthy disks.
+//
+// An Injector is seeded and purely path-driven: the same (seed, path)
+// pair always yields the same fault schedule, regardless of how goroutine
+// ranks interleave their reads. Transient faults are bounded per file
+// (MaxTransient), so any retry loop with more attempts than the bound is
+// guaranteed to make progress — the property the chaos tests rely on.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors produced by the injector. ErrMissing wraps fs.ErrNotExist
+// so callers that already branch on os.IsNotExist / errors.Is(err,
+// fs.ErrNotExist) treat an injected missing file like a real one.
+var (
+	// ErrTransient is an injected transient read failure (an EIO that a
+	// retry may clear). It is the only injected error a RetryPolicy retries.
+	ErrTransient = errors.New("faults: injected transient I/O error")
+	// ErrCorrupt is an injected permanent corruption: every read of the
+	// file fails, retries included.
+	ErrCorrupt = errors.New("faults: injected permanent corruption")
+	// ErrMissing is an injected missing file.
+	ErrMissing = fmt.Errorf("faults: injected missing file: %w", fs.ErrNotExist)
+)
+
+// IsTransient reports whether err is worth retrying: an injected transient
+// fault or an error that declares itself temporary/timeout (net-style).
+// Corrupt files, missing files, and format errors are permanent — retrying
+// them only burns the budget.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var tmp interface{ Temporary() bool }
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return true
+	}
+	var to interface{ Timeout() bool }
+	if errors.As(err, &to) && to.Timeout() {
+		return true
+	}
+	return false
+}
+
+// Config describes a fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed makes the schedule deterministic; two injectors with the same
+	// seed and config fault identically.
+	Seed int64
+	// TransientProb is the per-file probability of injected transient read
+	// failures. A file drawn to fail yields a bounded streak of transient
+	// errors (geometric in TransientProb, capped at MaxTransient) before
+	// reads on it succeed again.
+	TransientProb float64
+	// MaxTransient caps the consecutive transient failures injected on one
+	// file (default 3 when TransientProb > 0). A retry policy with
+	// MaxAttempts > MaxTransient always gets through.
+	MaxTransient int
+	// Missing lists files (base names or full paths) whose open fails
+	// permanently with ErrMissing.
+	Missing []string
+	// Corrupt lists files whose reads fail permanently with ErrCorrupt.
+	Corrupt []string
+	// SlowProb is the per-file probability of being a straggler: every read
+	// of a drawn file is delayed by SlowLatency.
+	SlowProb float64
+	// SlowLatency is the injected per-read delay for straggler files.
+	SlowLatency time.Duration
+}
+
+// Counters tallies what an injector actually did.
+type Counters struct {
+	Transient int64 // transient read errors injected
+	Corrupt   int64 // permanent read errors injected
+	Missing   int64 // opens failed as missing
+	Slow      int64 // reads delayed
+}
+
+// Injector injects faults according to a Config. It is safe for concurrent
+// use by many ranks.
+type Injector struct {
+	cfg Config
+
+	mu        sync.Mutex
+	remaining map[string]int // per-path transient failures still to inject
+	counters  Counters
+}
+
+// New builds an injector for the config.
+func New(cfg Config) *Injector {
+	if cfg.TransientProb > 0 && cfg.MaxTransient <= 0 {
+		cfg.MaxTransient = 3
+	}
+	return &Injector{cfg: cfg, remaining: map[string]int{}}
+}
+
+// Counters returns a snapshot of the injected-fault tallies.
+func (in *Injector) Counters() Counters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counters
+}
+
+// matches reports whether path is in list, comparing full paths and base
+// names so configs can name files without knowing the dataset directory.
+func matches(path string, list []string) bool {
+	base := filepath.Base(path)
+	for _, m := range list {
+		if m == path || m == base {
+			return true
+		}
+	}
+	return false
+}
+
+// hash64 mixes the seed, a path, and a salt into a uniform uint64
+// (FNV-1a then splitmix64 finalization).
+func (in *Injector) hash64(path, salt string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", in.cfg.Seed, filepath.Base(path), salt)
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// u01 maps a hash draw to [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// streak draws the path's transient-failure streak: the number of leading
+// read attempts that fail, geometric in TransientProb, capped.
+func (in *Injector) streak(path string) int {
+	s := 0
+	for i := 0; i < in.cfg.MaxTransient; i++ {
+		if u01(in.hash64(path, "transient"+strconv.Itoa(i))) < in.cfg.TransientProb {
+			s++
+		} else {
+			break
+		}
+	}
+	return s
+}
+
+// OpenFault returns the injected error for opening path, or nil.
+func (in *Injector) OpenFault(path string) error {
+	if matches(path, in.cfg.Missing) {
+		in.mu.Lock()
+		in.counters.Missing++
+		in.mu.Unlock()
+		return ErrMissing
+	}
+	return nil
+}
+
+// ReadFault returns the injected error for one read of path, or nil.
+// Corrupt files fail forever; transiently faulted files fail for their
+// deterministic streak and then succeed.
+func (in *Injector) ReadFault(path string) error {
+	if matches(path, in.cfg.Corrupt) {
+		in.mu.Lock()
+		in.counters.Corrupt++
+		in.mu.Unlock()
+		return ErrCorrupt
+	}
+	if in.cfg.TransientProb <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rem, seen := in.remaining[path]
+	if !seen {
+		rem = in.streak(path)
+	}
+	if rem > 0 {
+		in.remaining[path] = rem - 1
+		in.counters.Transient++
+		return ErrTransient
+	}
+	in.remaining[path] = 0
+	return nil
+}
+
+// ReadDelay returns the injected latency for one read of path (0 for
+// non-stragglers) and counts it.
+func (in *Injector) ReadDelay(path string) time.Duration {
+	if in.cfg.SlowLatency <= 0 || in.cfg.SlowProb <= 0 {
+		return 0
+	}
+	if u01(in.hash64(path, "slow")) >= in.cfg.SlowProb {
+		return 0
+	}
+	in.mu.Lock()
+	in.counters.Slow++
+	in.mu.Unlock()
+	return in.cfg.SlowLatency
+}
+
+// ParseSpec parses the das_analyze -inject grammar: comma-separated k=v
+// pairs. Keys: seed=<int>, transient=<prob>, max=<n>, missing=<file>,
+// corrupt=<file> (both repeatable), slowp=<prob>, slowlat=<duration>.
+//
+//	-inject 'seed=42,transient=0.3,max=3,missing=westSac_170728224510.dasf'
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, fmt.Errorf("faults: empty injection spec")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return cfg, fmt.Errorf("faults: bad spec item %q (want key=value)", part)
+		}
+		var err error
+		switch kv[0] {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(kv[1], 10, 64)
+		case "transient":
+			cfg.TransientProb, err = strconv.ParseFloat(kv[1], 64)
+		case "max":
+			cfg.MaxTransient, err = strconv.Atoi(kv[1])
+		case "missing":
+			cfg.Missing = append(cfg.Missing, kv[1])
+		case "corrupt":
+			cfg.Corrupt = append(cfg.Corrupt, kv[1])
+		case "slowp":
+			cfg.SlowProb, err = strconv.ParseFloat(kv[1], 64)
+		case "slowlat":
+			cfg.SlowLatency, err = time.ParseDuration(kv[1])
+		default:
+			return cfg, fmt.Errorf("faults: unknown spec key %q", kv[0])
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faults: bad value for %q: %w", kv[0], err)
+		}
+	}
+	if cfg.TransientProb < 0 || cfg.TransientProb > 1 || cfg.SlowProb < 0 || cfg.SlowProb > 1 {
+		return cfg, fmt.Errorf("faults: probabilities must be in [0,1]")
+	}
+	return cfg, nil
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// TimeBudget is a shared, thread-safe pool of backoff time. Attach one
+// budget to the retry policies of many concurrent readers to bound the
+// total wall-clock a whole run may spend waiting on a flaky file system.
+type TimeBudget struct {
+	remaining atomic.Int64 // nanoseconds
+}
+
+// NewTimeBudget creates a budget of total backoff time.
+func NewTimeBudget(total time.Duration) *TimeBudget {
+	b := &TimeBudget{}
+	b.remaining.Store(int64(total))
+	return b
+}
+
+// take withdraws up to d from the budget and returns how much was granted.
+func (b *TimeBudget) take(d time.Duration) time.Duration {
+	for {
+		cur := b.remaining.Load()
+		if cur <= 0 {
+			return 0
+		}
+		grant := min(time.Duration(cur), d)
+		if b.remaining.CompareAndSwap(cur, cur-int64(grant)) {
+			return grant
+		}
+	}
+}
+
+// Remaining returns the unspent backoff budget.
+func (b *TimeBudget) Remaining() time.Duration {
+	return time.Duration(max(b.remaining.Load(), 0))
+}
+
+// RetryPolicy bounds how a transient failure is retried: attempt count,
+// exponential backoff with jitter, a per-operation deadline, and an
+// optional shared total budget. The zero value performs exactly one
+// attempt (no retries) — the seed repository's behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values < 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry. Defaults to 200µs when retries are enabled.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 50ms).
+	MaxDelay time.Duration
+	// Jitter adds up to this fraction of the delay, randomly, to decorrelate
+	// concurrent retriers (default 0.2).
+	Jitter float64
+	// OpDeadline bounds one Do call end to end, backoff included. Zero
+	// means no per-op deadline.
+	OpDeadline time.Duration
+	// Budget, when set, is a shared pool all backoff sleeps draw from;
+	// when it runs dry, remaining retries happen back to back and, once
+	// attempts are exhausted, the last error is returned as usual.
+	Budget *TimeBudget
+}
+
+// WithRetries returns a policy making n retries (n+1 attempts) with the
+// default backoff shape.
+func WithRetries(n int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: n + 1}
+}
+
+// Do runs op, retrying transient failures under the policy. It returns the
+// number of attempts made and op's final error. Permanent errors (anything
+// IsTransient rejects) are returned immediately.
+func (p RetryPolicy) Do(op func() error) (attempts int, err error) {
+	maxAtt := p.MaxAttempts
+	if maxAtt < 1 {
+		maxAtt = 1
+	}
+	delay := p.BaseDelay
+	if delay <= 0 {
+		delay = 200 * time.Microsecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 50 * time.Millisecond
+	}
+	jitter := p.Jitter
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+	start := time.Now()
+	for attempts = 1; ; attempts++ {
+		err = op()
+		if err == nil || !IsTransient(err) || attempts >= maxAtt {
+			return attempts, err
+		}
+		if p.OpDeadline > 0 && time.Since(start) >= p.OpDeadline {
+			return attempts, fmt.Errorf("faults: retry deadline %v exceeded after %d attempts: %w",
+				p.OpDeadline, attempts, err)
+		}
+		sleep := delay + time.Duration(rand.Float64()*jitter*float64(delay))
+		if p.Budget != nil {
+			sleep = p.Budget.take(sleep)
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		delay = min(delay*2, maxDelay)
+	}
+}

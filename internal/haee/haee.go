@@ -59,6 +59,10 @@ type Config struct {
 	// ReadStrategy overrides how ranks load their blocks (default:
 	// independent reads, the original ArrayUDF behaviour).
 	ReadStrategy arrayudf.ReadStrategy
+	// FailPolicy decides whether a member file that stays bad after retries
+	// aborts the world (default) or degrades into NaN-masked gaps plus a
+	// QualityReport on the run's Report.
+	FailPolicy dass.FailPolicy
 }
 
 func (cfg Config) validate() error {
@@ -116,6 +120,10 @@ type Report struct {
 	// holds its block plus its own copy of the shared payload.
 	MemPerNode int64
 	OOM        bool
+
+	// Quality accounts for data lost to degraded reads (rank 0 only, under
+	// dass.FailDegrade; nil otherwise).
+	Quality *dass.QualityReport
 
 	Output *dasf.Array2D
 }
@@ -217,6 +225,7 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 	cfg := e.cfg
 	worldSize, threads := cfg.ranks()
 	spec.ReadStrategy = cfg.ReadStrategy
+	spec.FailPolicy = cfg.FailPolicy
 
 	rep := Report{Mode: cfg.Mode, Nodes: cfg.Nodes, CoresPerNode: cfg.CoresPerNode}
 	nch, _ := v.Shape()
@@ -225,7 +234,7 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 		team := omp.NewTeam(threads)
 
 		t0 := time.Now()
-		blk, readTr := arrayudf.LoadBlock(c, v, spec)
+		blk, readTr, quality := arrayudf.LoadBlock(c, v, spec)
 		readSec := time.Since(t0).Seconds()
 
 		t0 = time.Now()
@@ -251,9 +260,11 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 		// the total request pressure on the storage system is exactly what
 		// Figure 8 compares between the two modes.
 		times := mpi.Reduce(c, 0, []float64{readSec, computeSec}, mpi.MaxF64)
-		trSum := mpi.Reduce(c, 0, []int64{readTr.Opens, readTr.Reads, readTr.BytesRead}, mpi.SumI64)
+		trSum := mpi.Reduce(c, 0, []int64{readTr.Opens, readTr.Reads, readTr.BytesRead,
+			readTr.Retries, readTr.Faults, readTr.SlowReads, readTr.MaskedSamples}, mpi.SumI64)
 		if c.Rank() == 0 {
 			readTr.Opens, readTr.Reads, readTr.BytesRead = trSum[0], trSum[1], trSum[2]
+			readTr.Retries, readTr.Faults, readTr.SlowReads, readTr.MaskedSamples = trSum[3], trSum[4], trSum[5], trSum[6]
 		}
 
 		// Write the result as one big array with positioned parallel writes
@@ -284,15 +295,15 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 			if runErr == nil && out != nil && out.Channels > 0 {
 				pw, err := dasf.OpenForWrite(outPath)
 				if err != nil {
-					panic(fmt.Sprintf("haee: parallel write: %v", err))
+					panic(fmt.Errorf("haee: parallel write: %w", err))
 				}
 				if err := pw.WriteRows(blk.ChLo, out); err != nil {
 					pw.Close()
-					panic(fmt.Sprintf("haee: parallel write: %v", err))
+					panic(fmt.Errorf("haee: parallel write: %w", err))
 				}
 				st := pw.Stats()
 				if err := pw.Close(); err != nil {
-					panic(fmt.Sprintf("haee: parallel write: %v", err))
+					panic(fmt.Errorf("haee: parallel write: %w", err))
 				}
 				writeTr.Opens += st.Opens
 				writeTr.Writes += st.Writes
@@ -317,6 +328,7 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 			rep.WriteTrace.Processes = worldSize
 			rep.MemPerNode = memPerNode
 			rep.OOM = oom
+			rep.Quality = quality
 			rep.Output = full
 		}
 	})

@@ -105,6 +105,16 @@ func (e *RankError) Error() string {
 	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Err)
 }
 
+// Unwrap exposes the recovered panic value when it is an error, so
+// errors.Is/As see through a failed parallel run to the root cause (e.g. a
+// missing-file sentinel raised inside a reader).
+func (e *RankError) Unwrap() error {
+	if err, ok := e.Err.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run starts size ranks, each executing f with its own Comm, and waits for
 // all of them to finish. If any rank panics, Run recovers it and returns a
 // *RankError for the lowest-numbered failed rank; other ranks may then be

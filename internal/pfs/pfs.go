@@ -29,6 +29,13 @@ type Trace struct {
 	ExchangeRounds int64 // pairwise all-to-all rounds
 	ExchangeBytes  int64 // total payload carried by exchanges
 
+	// Robustness counters: work re-issued, failures hit, and data lost.
+	// They make a degraded run's overhead measurable instead of silent.
+	Retries       int64 // operations re-issued after transient failures
+	Faults        int64 // injected/observed storage failures hit
+	SlowReads     int64 // reads delayed by straggler storage targets
+	MaskedSamples int64 // samples replaced by NaN gaps under FailDegrade
+
 	Processes int // concurrent requesters (ranks)
 }
 
@@ -43,14 +50,23 @@ func (t *Trace) Add(other Trace) {
 	t.BcastBytes += other.BcastBytes
 	t.ExchangeRounds += other.ExchangeRounds
 	t.ExchangeBytes += other.ExchangeBytes
+	t.Retries += other.Retries
+	t.Faults += other.Faults
+	t.SlowReads += other.SlowReads
+	t.MaskedSamples += other.MaskedSamples
 	if other.Processes > t.Processes {
 		t.Processes = other.Processes
 	}
 }
 
 func (t Trace) String() string {
-	return fmt.Sprintf("opens=%d reads=%d readMB=%.1f writes=%d bcasts=%d exchanges=%d procs=%d",
+	s := fmt.Sprintf("opens=%d reads=%d readMB=%.1f writes=%d bcasts=%d exchanges=%d procs=%d",
 		t.Opens, t.Reads, float64(t.BytesRead)/1e6, t.Writes, t.Broadcasts, t.ExchangeRounds, t.Processes)
+	if t.Retries > 0 || t.Faults > 0 || t.SlowReads > 0 || t.MaskedSamples > 0 {
+		s += fmt.Sprintf(" retries=%d faults=%d slow=%d masked=%d",
+			t.Retries, t.Faults, t.SlowReads, t.MaskedSamples)
+	}
+	return s
 }
 
 // Model holds the hardware constants of a storage system + interconnect.

@@ -4,6 +4,7 @@
 package clitest
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -38,7 +39,7 @@ func binaries(t *testing.T) string {
 	}
 	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
 		"dassa/cmd/das_gen", "dassa/cmd/das_search", "dassa/cmd/das_info",
-		"dassa/cmd/das_analyze", "dassa/cmd/das_bench")
+		"dassa/cmd/das_analyze", "dassa/cmd/das_bench", "dassa/cmd/dassd")
 	cmd.Dir = repoRoot(t)
 	if out, err := cmd.CombinedOutput(); err != nil {
 		buildErr = err
@@ -87,6 +88,23 @@ func TestCLIWorkflow(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("das_info missing %q in:\n%s", want, out)
 		}
+	}
+
+	// The same metadata as JSON (the dassd /status?file= shape).
+	out = run(t, "das_info", "-json", files[0])
+	var infoDoc struct {
+		Kind        string         `json:"kind"`
+		NumChannels int            `json:"num_channels"`
+		Global      map[string]any `json:"global"`
+	}
+	if err := json.Unmarshal([]byte(out), &infoDoc); err != nil {
+		t.Fatalf("das_info -json: %v\n%s", err, out)
+	}
+	if infoDoc.Kind != "data" || infoDoc.NumChannels != 16 {
+		t.Errorf("das_info -json content: %+v", infoDoc)
+	}
+	if rate, ok := infoDoc.Global["SamplingFrequency(HZ)"].(float64); !ok || rate != 50 {
+		t.Errorf("das_info -json global rate: %v", infoDoc.Global)
 	}
 
 	// Search + merge into a VCA.
@@ -144,5 +162,33 @@ func TestCLIBenchSingleExperiment(t *testing.T) {
 		"-channels", "16", "-files", "4", "-rate", "50", "-seconds", "1")
 	if !strings.Contains(out, "Table I") || !strings.Contains(out, "VCA") {
 		t.Fatalf("das_bench output: %s", out)
+	}
+
+	// Machine-readable results land in the -json file.
+	jsonPath := filepath.Join(t.TempDir(), "results.json")
+	run(t, "das_bench", "-exp", "table1", "-dir", dir,
+		"-channels", "16", "-files", "4", "-rate", "50", "-seconds", "1",
+		"-json", jsonPath)
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Suite  string `json:"suite"`
+		Params struct {
+			Channels int `json:"channels"`
+		} `json:"params"`
+		Experiments []struct {
+			Name string `json:"name"`
+			Rows any    `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("das_bench -json: %v\n%s", err, raw)
+	}
+	if rep.Suite != "dassa-bench" || rep.Params.Channels != 16 ||
+		len(rep.Experiments) != 1 || rep.Experiments[0].Name != "table1" ||
+		rep.Experiments[0].Rows == nil {
+		t.Fatalf("das_bench -json content: %+v", rep)
 	}
 }

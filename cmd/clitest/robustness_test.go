@@ -54,15 +54,15 @@ func TestCLIExitCodes(t *testing.T) {
 	vca, _ := chaosVCA(t)
 
 	usage := [][]string{
-		{"das_analyze"},                                  // missing -in
-		{"das_analyze", "-in", vca, "-op", "nonsense"},   // unknown op
-		{"das_analyze", "-in", vca, "-mode", "serial"},   // unknown mode
-		{"das_analyze", "-in", vca, "-read", "psychic"},  // unknown read strategy
-		{"das_analyze", "-in", vca, "-fail-policy", "x"}, // unknown policy
-		{"das_analyze", "-in", vca, "-inject", "wat"},    // bad injection spec
-		{"das_analyze", "-in", vca, "-retries", "-2"},    // negative retries
+		{"das_analyze"}, // missing -in
+		{"das_analyze", "-in", vca, "-op", "nonsense"},             // unknown op
+		{"das_analyze", "-in", vca, "-mode", "serial"},             // unknown mode
+		{"das_analyze", "-in", vca, "-read", "psychic"},            // unknown read strategy
+		{"das_analyze", "-in", vca, "-fail-policy", "x"},           // unknown policy
+		{"das_analyze", "-in", vca, "-inject", "wat"},              // bad injection spec
+		{"das_analyze", "-in", vca, "-retries", "-2"},              // negative retries
 		{"das_analyze", "-in", vca, "-op", "localsimi", "-M", "0"}, // bad params
-		{"das_search", "-dir", t.TempDir(), "-e", "("},   // regex does not compile
+		{"das_search", "-dir", t.TempDir(), "-e", "("},             // regex does not compile
 	}
 	for _, args := range usage {
 		if out, code := runCode(t, args[0], args[1:]...); code != 2 {

@@ -10,11 +10,15 @@
 //	das_bench                      # run everything
 //	das_bench -exp fig7            # just the Figure 7 read comparison
 //	das_bench -channels 256 -files 48 -exp fig8
+//	das_bench -exp table1 -json results.json   # machine-readable results
+//	das_bench -json -                          # whole suite as JSON on stdout
 package main
 
 import (
 	"flag"
+	"io"
 	"log"
+	"os"
 
 	"dassa/internal/bench"
 	"dassa/internal/pfs"
@@ -25,8 +29,9 @@ func main() {
 	log.SetPrefix("das_bench: ")
 	o := bench.Defaults()
 	var (
-		exp   = flag.String("exp", "all", "experiment: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | ablation | detectors")
-		model = flag.String("model", "cori", "hardware model for projections: cori | burstbuffer")
+		exp      = flag.String("exp", "all", "experiment: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | ablation | detectors")
+		model    = flag.String("model", "cori", "hardware model for projections: cori | burstbuffer")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this file (- for stdout)")
 	)
 	flag.StringVar(&o.DataDir, "dir", o.DataDir, "working directory for the generated dataset")
 	flag.IntVar(&o.Channels, "channels", o.Channels, "synthetic fiber channels")
@@ -47,35 +52,42 @@ func main() {
 	default:
 		log.Fatalf("unknown -model %q", *model)
 	}
-
-	var err error
-	switch *exp {
-	case "all":
-		err = bench.RunAll(o)
-	case "table1":
-		_, err = bench.RunTable1(o)
-	case "table2":
-		_, err = bench.RunTable2(o)
-	case "fig6":
-		_, err = bench.RunFig6(o)
-	case "fig7":
-		_, err = bench.RunFig7(o)
-	case "fig8":
-		_, err = bench.RunFig8(o)
-	case "fig9":
-		_, err = bench.RunFig9(o)
-	case "fig10":
-		_, err = bench.RunFig10(o)
-	case "fig11":
-		_, err = bench.RunFig11(o)
-	case "ablation":
-		_, err = bench.RunAblations(o)
-	case "detectors":
-		_, err = bench.RunDetectors(o)
-	default:
+	if _, ok := bench.Lookup(*exp); !ok && *exp != "all" {
 		log.Fatalf("unknown -exp %q", *exp)
 	}
-	if err != nil {
+
+	if *jsonPath != "" {
+		// JSON mode: when the document goes to stdout, the text tables
+		// must not — they would corrupt the stream.
+		var out io.Writer = os.Stdout
+		if *jsonPath == "-" {
+			o.Out = io.Discard
+		} else {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep, err := bench.RunJSON(o, *exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *exp == "all" {
+		if err := bench.RunAll(o); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	e, _ := bench.Lookup(*exp)
+	if _, err := e.Run(o); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -4,12 +4,15 @@
 //
 //	das_info westSac_170620100545.dasf
 //	das_info -channels merged.vca.dasf
+//	das_info -json westSac_170620100545.dasf     # machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"dassa/internal/dasf"
@@ -19,10 +22,44 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("das_info: ")
 	channels := flag.Bool("channels", false, "also print per-channel metadata")
+	asJSON := flag.Bool("json", false, "emit metadata as JSON (one object, or an array for multiple files)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: das_info [-channels] <file.dasf>...")
+		log.Fatal("usage: das_info [-channels] [-json] <file.dasf>...")
 	}
+
+	if *asJSON {
+		docs := make([]dasf.InfoJSON, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			r, err := dasf.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			doc := dasf.NewInfoJSON(r.Info())
+			if *channels {
+				pcm, err := r.PerChannelMeta()
+				if err != nil {
+					log.Fatal(err)
+				}
+				doc.AttachPerChannel(pcm)
+			}
+			r.Close()
+			docs = append(docs, doc)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		var err error
+		if len(docs) == 1 {
+			err = enc.Encode(docs[0])
+		} else {
+			err = enc.Encode(docs)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	for _, path := range flag.Args() {
 		r, err := dasf.Open(path)
 		if err != nil {

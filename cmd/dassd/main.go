@@ -1,0 +1,112 @@
+// Command dassd is DASSA's streaming ingest + query daemon: it watches a
+// directory for newly recorded per-minute DASF files, keeps a live catalog
+// (and optionally a rolling virtual concatenated array) over them, and
+// serves an HTTP JSON API backed by the in-process analysis engines.
+//
+//	dassd -dir ./das-data -addr 127.0.0.1:8057
+//
+// Endpoints:
+//
+//	GET /search?e=170728224[567]10        files by timestamp regex
+//	GET /search?s=170728224510&c=2        files by start + count
+//	GET /read?start=...&end=...&ch0=0&ch1=8&t0=0&t1=500
+//	GET /detect?op=localsimi|stalta&start=...&end=...
+//	GET /status                           catalog, ingest, cache, admission
+//	GET /status?file=<name>               das_info -json for one file
+//
+// SIGINT/SIGTERM drain in-flight requests and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dassa/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dassd: ")
+	var (
+		dir      = flag.String("dir", "./das-data", "watched directory for arriving DASF files")
+		addr     = flag.String("addr", "127.0.0.1:8057", "HTTP listen address (host:port, port 0 picks one)")
+		poll     = flag.Duration("poll", 2*time.Second, "ingest poll interval")
+		retain   = flag.Int("retain", 0, "serve only the newest N files (0 = all)")
+		liveVCA  = flag.Bool("live-vca", true, "maintain a rolling VCA ("+serve.LiveVCAName+") over the ingested series")
+		cacheMB  = flag.Int64("cache-mb", 64, "block cache budget in MiB (0 disables)")
+		inflight = flag.Int("max-inflight", 4, "queries executing concurrently")
+		queue    = flag.Int("queue", 8, "queries waiting for a slot before new ones get 429")
+		wait     = flag.Duration("queue-wait", 5*time.Second, "longest a queued query waits before 429")
+		jobs     = flag.Int("jobs", 2, "concurrent /detect jobs")
+		nodes    = flag.Int("nodes", 1, "simulated nodes for the analysis engine")
+		cores    = flag.Int("cores", 4, "cores per node for the analysis engine")
+	)
+	flag.Parse()
+
+	if st, err := os.Stat(*dir); err != nil || !st.IsDir() {
+		log.Fatalf("-dir %s is not a readable directory (%v)", *dir, err)
+	}
+
+	logger := log.New(os.Stderr, "dassd: ", 0)
+	s := serve.NewServer(serve.Config{
+		Ingest: serve.IngestConfig{
+			Dir:         *dir,
+			Poll:        *poll,
+			RetainFiles: *retain,
+			LiveVCA:     *liveVCA,
+			Log:         logger,
+		},
+		CacheBytes:    *cacheMB << 20,
+		MaxConcurrent: *inflight,
+		MaxQueue:      *queue,
+		QueueWait:     *wait,
+		DetectJobs:    *jobs,
+		Nodes:         *nodes,
+		CoresPerNode:  *cores,
+		Log:           logger,
+	})
+
+	// Populate the catalog before accepting traffic, then poll.
+	if err := s.Ingester().ScanOnce(); err != nil {
+		log.Fatalf("initial scan: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go s.Ingester().Run(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Printed on stdout so wrappers (and the e2e test) can discover the
+	// port when -addr ends in :0.
+	log.SetOutput(os.Stdout)
+	log.Printf("listening on %s (%d files cataloged)", ln.Addr(), s.Ingester().Catalog().Len())
+	log.SetOutput(os.Stderr)
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	logger.Printf("shutdown complete")
+}

@@ -129,27 +129,11 @@ func hline(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n=== %s ===\n", title)
 }
 
-// RunAll executes every experiment in paper order.
+// RunAll executes every registered experiment in paper order.
 func RunAll(o Options) error {
-	type step struct {
-		name string
-		run  func(Options) error
-	}
-	steps := []step{
-		{"Table I (RCA vs VCA)", func(o Options) error { _, err := RunTable1(o); return err }},
-		{"Table II (DasLib semantics)", func(o Options) error { _, err := RunTable2(o); return err }},
-		{"Figure 6 (search & merge)", func(o Options) error { _, err := RunFig6(o); return err }},
-		{"Figure 7 (read methods)", func(o Options) error { _, err := RunFig7(o); return err }},
-		{"Figure 8 (hybrid vs MPI)", func(o Options) error { _, err := RunFig8(o); return err }},
-		{"Figure 9 (DASSA vs MATLAB)", func(o Options) error { _, err := RunFig9(o); return err }},
-		{"Figure 10 (event detection)", func(o Options) error { _, err := RunFig10(o); return err }},
-		{"Figure 11 (scaling)", func(o Options) error { _, err := RunFig11(o); return err }},
-		{"Ablations", func(o Options) error { _, err := RunAblations(o); return err }},
-		{"Detector comparison", func(o Options) error { _, err := RunDetectors(o); return err }},
-	}
-	for _, s := range steps {
-		if err := s.run(o); err != nil {
-			return fmt.Errorf("bench: %s: %w", s.name, err)
+	for _, e := range Experiments() {
+		if _, err := e.Run(o); err != nil {
+			return fmt.Errorf("bench: %s: %w", e.Title, err)
 		}
 	}
 	return nil

@@ -164,6 +164,28 @@ func (d *Dataset) MergeAll() (*dass.View, error) {
 	return d.Merge(d.cat.Entries())
 }
 
+// ViewOf virtually concatenates the entries entirely in memory — no VCA
+// file is written and nothing needs cleaning up afterwards. This is the
+// merge an always-on service (dassd) uses per request.
+func (d *Dataset) ViewOf(entries []dass.Entry) (*dass.View, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: nothing to merge")
+	}
+	return dass.ViewOver(entries)
+}
+
+// Rescan refreshes the catalog from disk through the persistent index, so
+// newly arrived or rewritten files become visible. Long-running callers
+// (the dassd ingest loop) call this each poll interval.
+func (d *Dataset) Rescan() error {
+	cat, err := dass.ScanDirCached(d.dir)
+	if err != nil {
+		return err
+	}
+	d.cat = cat
+	return nil
+}
+
 // Report summarizes a framework run for callers that want phase timings
 // and I/O accounting without importing haee.
 type Report struct {

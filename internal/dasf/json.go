@@ -1,0 +1,83 @@
+package dasf
+
+// Machine-readable projections of file metadata — the paper's Figure 4
+// structure as JSON. das_info -json prints these, and the dassd /status
+// handler's file-detail view returns the same shape, so scripts written
+// against one work against the other.
+
+// MemberJSON is one VCA member in the JSON projection.
+type MemberJSON struct {
+	Name        string `json:"name"`
+	NumChannels int    `json:"num_channels"`
+	NumSamples  int    `json:"num_samples"`
+	Timestamp   int64  `json:"timestamp"`
+}
+
+// InfoJSON is the JSON projection of a file's metadata. Global values keep
+// their native types (string, int64, float64).
+type InfoJSON struct {
+	Path        string         `json:"path"`
+	Kind        string         `json:"kind"`
+	NumChannels int            `json:"num_channels"`
+	NumSamples  int            `json:"num_samples"`
+	DType       string         `json:"dtype"`
+	Layout      string         `json:"layout,omitempty"`
+	Global      map[string]any `json:"global"`
+	Members     []MemberJSON   `json:"members,omitempty"`
+	// PerChannel carries -channels output when requested (nil otherwise).
+	PerChannel []map[string]any `json:"per_channel,omitempty"`
+}
+
+// Any returns the value as its native Go type for JSON encoding.
+func (v Value) Any() any {
+	switch v.Kind {
+	case IntValue:
+		return v.Int
+	case FloatValue:
+		return v.Float
+	default:
+		return v.Str
+	}
+}
+
+// anyMeta flattens a metadata map to native JSON types.
+func anyMeta(m Meta) map[string]any {
+	out := make(map[string]any, len(m))
+	for k, val := range m {
+		out[k] = val.Any()
+	}
+	return out
+}
+
+// NewInfoJSON builds the JSON projection of info. Layout is emitted only
+// for data files (a VCA has no array region).
+func NewInfoJSON(info Info) InfoJSON {
+	out := InfoJSON{
+		Path:        info.Path,
+		Kind:        info.Kind.String(),
+		NumChannels: info.NumChannels,
+		NumSamples:  info.NumSamples,
+		DType:       info.DType.String(),
+		Global:      anyMeta(info.Global),
+	}
+	if info.Kind == KindData {
+		out.Layout = info.Layout.String()
+	}
+	for _, m := range info.Members {
+		out.Members = append(out.Members, MemberJSON{
+			Name:        m.Name,
+			NumChannels: m.NumChannels,
+			NumSamples:  m.NumSamples,
+			Timestamp:   m.Timestamp,
+		})
+	}
+	return out
+}
+
+// AttachPerChannel fills the PerChannel field from a reader's per-channel
+// metadata block.
+func (j *InfoJSON) AttachPerChannel(pcm []Meta) {
+	for _, m := range pcm {
+		j.PerChannel = append(j.PerChannel, anyMeta(m))
+	}
+}

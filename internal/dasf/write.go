@@ -285,7 +285,16 @@ func WriteVCA(path string, global Meta, dtype DType, members []Member) error {
 		buf = appendUint32(buf, uint32(m.NumSamples))
 		buf = appendUint64(buf, uint64(m.Timestamp))
 	}
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	// Write-then-rename so the VCA is replaced atomically: a reader that
+	// races an AppendToVCA sees either the old member list or the new one,
+	// never a truncated file. This is what lets a long-running ingester
+	// extend a live VCA while queries read it.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("dasf: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("dasf: %w", err)
 	}
 	return nil

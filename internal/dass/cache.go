@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"dassa/internal/dasf"
 )
@@ -30,31 +31,69 @@ type indexEntry struct {
 }
 
 type indexFile struct {
-	Version int          `json:"version"`
-	Entries []indexEntry `json:"entries"`
+	Version int `json:"version"`
+	// ScannedAt is the wall clock (ns) captured when the scan that wrote
+	// this index started. A file whose mtime is not strictly older than it
+	// may have been rewritten in place inside the same mtime granule as the
+	// scan that recorded it — the "racily clean" problem git's index solves
+	// the same way — so such entries are re-verified instead of trusted.
+	ScannedAt int64        `json:"scanned_at_ns"`
+	Entries   []indexEntry `json:"entries"`
+}
+
+// indexVersion is the current on-disk index format. Older versions are
+// ignored and rebuilt.
+const indexVersion = 2
+
+// BadFile records a file a tolerant scan skipped: its path and why it was
+// unreadable. A continuously ingesting service sees these routinely — a
+// half-copied minute file is corrupt now and fine on the next poll.
+type BadFile struct {
+	Path string
+	Err  error
 }
 
 // ScanDirCached builds a catalog like ScanDir, but consults (and rewrites)
 // the directory's index file so unchanged files cost zero metadata reads.
 // The returned catalog's Trace shows only the I/O actually performed.
+// Unreadable files abort the scan with an error.
 func ScanDirCached(dir string) (*Catalog, error) {
+	c, _, err := scanDirCached(dir, false)
+	return c, err
+}
+
+// ScanDirCachedTolerant is ScanDirCached for an ingest loop: files whose
+// header fails validation are skipped and reported instead of aborting the
+// scan, and are not recorded in the index (so the next scan retries them —
+// the right behaviour for a file still being copied in).
+func ScanDirCachedTolerant(dir string) (*Catalog, []BadFile, error) {
+	return scanDirCached(dir, true)
+}
+
+func scanDirCached(dir string, tolerant bool) (*Catalog, []BadFile, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("dass: %w", err)
+		return nil, nil, fmt.Errorf("dass: %w", err)
 	}
 	cached := map[string]indexEntry{}
+	var scannedAt int64
 	if raw, err := os.ReadFile(filepath.Join(dir, IndexFileName)); err == nil {
 		var idx indexFile
-		if json.Unmarshal(raw, &idx) == nil && idx.Version == 1 {
+		if json.Unmarshal(raw, &idx) == nil && idx.Version == indexVersion {
+			scannedAt = idx.ScannedAt
 			for _, e := range idx.Entries {
 				cached[e.Name] = e
 			}
 		}
 		// A corrupt or old-version index is simply ignored and rebuilt.
 	}
+	// Stamp for the index this scan writes: captured before any file is
+	// statted, so a file modified mid-scan can never look trustworthy.
+	scanStart := time.Now().UnixNano()
 
 	c := &Catalog{}
 	c.Trace.Processes = 1
+	var bad []BadFile
 	var fresh []indexEntry
 	dirty := false
 	seen := map[string]bool{}
@@ -64,10 +103,15 @@ func ScanDirCached(dir string) (*Catalog, error) {
 		}
 		fi, err := de.Info()
 		if err != nil {
-			return nil, fmt.Errorf("dass: %w", err)
+			if tolerant {
+				bad = append(bad, BadFile{Path: filepath.Join(dir, de.Name()), Err: err})
+				continue
+			}
+			return nil, nil, fmt.Errorf("dass: %w", err)
 		}
 		seen[de.Name()] = true
-		if e, ok := cached[de.Name()]; ok && e.Size == fi.Size() && e.ModTime == fi.ModTime().UnixNano() {
+		if e, ok := cached[de.Name()]; ok && e.Size == fi.Size() &&
+			e.ModTime == fi.ModTime().UnixNano() && e.ModTime < scannedAt {
 			// Cache hit: no I/O. Re-root the stored path onto this dir.
 			e.Info.Path = filepath.Join(dir, de.Name())
 			rerootMembers(&e.Info, dir)
@@ -80,19 +124,27 @@ func ScanDirCached(dir string) (*Catalog, error) {
 		dirty = true
 		path := filepath.Join(dir, de.Name())
 		info, st, err := dasf.ReadInfo(path)
-		if err != nil {
-			return nil, err
-		}
 		c.Trace.Opens += st.Opens
 		c.Trace.Reads += st.Reads
 		c.Trace.BytesRead += st.BytesRead
+		if err != nil {
+			if tolerant {
+				bad = append(bad, BadFile{Path: path, Err: err})
+				continue
+			}
+			return nil, nil, err
+		}
 		e := indexEntry{
 			Name: de.Name(), Size: fi.Size(), ModTime: fi.ModTime().UnixNano(), Info: info,
 		}
 		if info.Kind == dasf.KindData {
 			ts, err := entryTimestamp(path, info)
 			if err != nil {
-				return nil, err
+				if tolerant {
+					bad = append(bad, BadFile{Path: path, Err: err})
+					continue
+				}
+				return nil, nil, err
 			}
 			e.Timestamp = ts
 			c.entries = append(c.entries, Entry{Path: path, Info: info, Timestamp: ts})
@@ -120,19 +172,19 @@ func ScanDirCached(dir string) (*Catalog, error) {
 			fresh[i].Info.Path = fresh[i].Name
 			relMembers(&fresh[i].Info, dir)
 		}
-		raw, err := json.Marshal(indexFile{Version: 1, Entries: fresh})
+		raw, err := json.Marshal(indexFile{Version: indexVersion, ScannedAt: scanStart, Entries: fresh})
 		if err != nil {
-			return nil, fmt.Errorf("dass: %w", err)
+			return nil, bad, fmt.Errorf("dass: %w", err)
 		}
 		tmp := filepath.Join(dir, IndexFileName+".tmp")
 		if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-			return nil, fmt.Errorf("dass: %w", err)
+			return nil, bad, fmt.Errorf("dass: %w", err)
 		}
 		if err := os.Rename(tmp, filepath.Join(dir, IndexFileName)); err != nil {
-			return nil, fmt.Errorf("dass: %w", err)
+			return nil, bad, fmt.Errorf("dass: %w", err)
 		}
 	}
-	return c, nil
+	return c, bad, nil
 }
 
 // relMembers rewrites absolute member paths under dir as relative names.

@@ -104,6 +104,20 @@ func ScanFiles(paths []string) (*Catalog, error) {
 	return c, nil
 }
 
+// CatalogOf builds a catalog directly from already-parsed entries — the
+// service layer's retention window trims a scanned catalog this way. The
+// entries are copied and time-sorted; no I/O happens.
+func CatalogOf(entries []Entry) *Catalog {
+	c := &Catalog{entries: append([]Entry(nil), entries...)}
+	sort.Slice(c.entries, func(i, j int) bool {
+		if c.entries[i].Timestamp != c.entries[j].Timestamp {
+			return c.entries[i].Timestamp < c.entries[j].Timestamp
+		}
+		return c.entries[i].Path < c.entries[j].Path
+	})
+	return c
+}
+
 // Len returns the number of cataloged files.
 func (c *Catalog) Len() int { return len(c.entries) }
 

@@ -212,9 +212,19 @@ func classifyMemberErr(path string, err error) error {
 
 // readMemberSpan reads one member's slab for the view's channel range,
 // folding physical stats into tr. On failure the error is classified; the
-// caller decides (by policy) whether to abort or mask.
+// caller decides (by policy) whether to abort or mask. A view with a slab
+// hook installed (WithSlabReader) delegates the physical read to it.
 func (v *View) readMemberSpan(sp memberSpan, tr *pfs.Trace) (*dasf.Array2D, error) {
 	path := v.memberPath(sp.idx)
+	if v.slab != nil {
+		part, st, err := v.slab(path, v.chLo, v.chHi, sp.tLo, sp.tHi)
+		addStats(tr, st)
+		if err != nil {
+			tr.Faults++
+			return nil, classifyMemberErr(path, err)
+		}
+		return part, nil
+	}
 	r, err := dasf.Open(path)
 	if err != nil {
 		tr.Faults++

@@ -17,6 +17,60 @@ type View struct {
 	chHi    int
 	tLo     int
 	tHi     int
+	// slab, when non-nil, replaces the direct open-and-read of member
+	// hyperslabs — the hook a block cache plugs into (see WithSlabReader).
+	slab SlabReaderFunc
+}
+
+// SlabReaderFunc reads the hyperslab [chLo,chHi)×[tLo,tHi) of one physical
+// member file, returning the data and the physical I/O actually performed
+// (zero stats for a cache hit). Implementations must be safe for concurrent
+// use: the parallel readers call the hook from many goroutines at once. The
+// returned array may be shared between callers and must not be modified.
+type SlabReaderFunc func(path string, chLo, chHi, tLo, tHi int) (*dasf.Array2D, dasf.IOStats, error)
+
+// WithSlabReader returns a copy of the view whose member reads go through
+// fn instead of opening files directly. Subsets of the returned view keep
+// the hook. A nil fn restores direct reads.
+func (v *View) WithSlabReader(fn SlabReaderFunc) *View {
+	cp := *v
+	cp.slab = fn
+	return &cp
+}
+
+// ViewOver builds a VCA-shaped view over the entries entirely in memory —
+// no virtual file is written. This is what an always-on service wants: the
+// per-request window over its live catalog, with nothing to clean up.
+// Entries must form a mergeable series (same channels and dtype,
+// non-decreasing timestamps), exactly like CreateVCA.
+func ViewOver(entries []Entry) (*View, error) {
+	if err := validateContiguous(entries); err != nil {
+		return nil, err
+	}
+	if len(entries) == 1 {
+		return NewView(entries[0].Info)
+	}
+	members := make([]dasf.Member, len(entries))
+	total := 0
+	for i, e := range entries {
+		members[i] = dasf.Member{
+			Name:        e.Path,
+			NumChannels: e.Info.NumChannels,
+			NumSamples:  e.Info.NumSamples,
+			Timestamp:   e.Timestamp,
+		}
+		total += e.Info.NumSamples
+	}
+	info := dasf.Info{
+		Path:        fmt.Sprintf("<memory VCA of %d files>", len(entries)),
+		Kind:        dasf.KindVCA,
+		Global:      entries[0].Info.Global.Clone(),
+		NumChannels: entries[0].Info.NumChannels,
+		NumSamples:  total,
+		DType:       entries[0].Info.DType,
+		Members:     members,
+	}
+	return NewView(info)
 }
 
 // OpenView opens a DASF file (data or VCA) as a full-extent view.

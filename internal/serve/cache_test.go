@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dassa/internal/dasf"
+)
+
+func block(n int) *dasf.Array2D { return dasf.NewArray2D(1, n) }
+
+func TestBlockCacheHitMiss(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	key := BlockKey{Path: "a", ChLo: 0, ChHi: 4, TLo: 0, THi: 100}
+	loads := 0
+	load := func() (*dasf.Array2D, dasf.IOStats, error) {
+		loads++
+		return block(100), dasf.IOStats{Opens: 1, Reads: 1, BytesRead: 800}, nil
+	}
+
+	_, st, hit, err := c.Get(key, load)
+	if err != nil || hit || st.Opens != 1 {
+		t.Fatalf("first get: hit=%v st=%+v err=%v", hit, st, err)
+	}
+	_, st, hit, err = c.Get(key, load)
+	if err != nil || !hit || st.Opens != 0 {
+		t.Fatalf("second get: hit=%v st=%+v err=%v", hit, st, err)
+	}
+	if loads != 1 {
+		t.Fatalf("loader ran %d times", loads)
+	}
+	cs := c.Stats()
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Fatalf("stats %+v", cs)
+	}
+}
+
+func TestBlockCacheErrorNotCached(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	key := BlockKey{Path: "bad"}
+	loads := 0
+	fail := func() (*dasf.Array2D, dasf.IOStats, error) {
+		loads++
+		return nil, dasf.IOStats{}, fmt.Errorf("boom")
+	}
+	if _, _, _, err := c.Get(key, fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, _, _, err := c.Get(key, fail); err == nil {
+		t.Fatal("want error again")
+	}
+	if loads != 2 {
+		t.Fatalf("failed loads must not be cached; loader ran %d times", loads)
+	}
+}
+
+func TestBlockCacheEviction(t *testing.T) {
+	// Budget fits ~2 blocks per shard; inserting many distinct keys on the
+	// same path must evict, and the byte account must stay bounded.
+	c := NewBlockCache(cacheShards * 2 * 800)
+	for i := 0; i < 100; i++ {
+		key := BlockKey{Path: "a", TLo: i * 100, THi: (i + 1) * 100}
+		c.Get(key, func() (*dasf.Array2D, dasf.IOStats, error) {
+			return block(100), dasf.IOStats{}, nil
+		})
+	}
+	cs := c.Stats()
+	if cs.Evictions == 0 {
+		t.Fatal("no evictions after 100 inserts into a 16-block cache")
+	}
+	if cs.Bytes > cs.Capacity {
+		t.Fatalf("cache over budget: %d > %d", cs.Bytes, cs.Capacity)
+	}
+}
+
+func TestBlockCacheSingleflight(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	key := BlockKey{Path: "a", THi: 100}
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	// First caller blocks inside the loader; the rest must coalesce onto it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Get(key, func() (*dasf.Array2D, dasf.IOStats, error) {
+			close(started)
+			<-gate
+			loads.Add(1)
+			return block(100), dasf.IOStats{}, nil
+		})
+	}()
+	<-started
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, hit, err := c.Get(key, func() (*dasf.Array2D, dasf.IOStats, error) {
+				loads.Add(1)
+				return block(100), dasf.IOStats{}, nil
+			})
+			if err != nil || !hit {
+				t.Errorf("coalesced get: hit=%v err=%v", hit, err)
+			}
+		}()
+	}
+	// Wait until all followers are parked on the in-flight load, so the
+	// test asserts genuine coalescing, not after-the-fact cache hits.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.waiting.Load() != 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.waiting.Load() != 8 {
+		t.Fatalf("only %d followers parked on the in-flight load", c.waiting.Load())
+	}
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times under concurrency, want 1", n)
+	}
+	if cs := c.Stats(); cs.Coalesced != 8 {
+		t.Fatalf("coalesced = %d, want 8 (stats %+v)", cs.Coalesced, cs)
+	}
+}
+
+func TestBlockCacheInvalidatePath(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	for i := 0; i < 4; i++ {
+		for _, p := range []string{"a", "b"} {
+			c.Get(BlockKey{Path: p, TLo: i}, func() (*dasf.Array2D, dasf.IOStats, error) {
+				return block(10), dasf.IOStats{}, nil
+			})
+		}
+	}
+	c.InvalidatePath("a")
+	cs := c.Stats()
+	if cs.Entries != 4 {
+		t.Fatalf("after invalidate: %d entries, want 4 (only path b)", cs.Entries)
+	}
+	_, _, hit, _ := c.Get(BlockKey{Path: "b", TLo: 0}, func() (*dasf.Array2D, dasf.IOStats, error) {
+		return block(10), dasf.IOStats{}, nil
+	})
+	if !hit {
+		t.Fatal("path b should still be cached")
+	}
+	_, _, hit, _ = c.Get(BlockKey{Path: "a", TLo: 0}, func() (*dasf.Array2D, dasf.IOStats, error) {
+		return block(10), dasf.IOStats{}, nil
+	})
+	if hit {
+		t.Fatal("path a should have been invalidated")
+	}
+}

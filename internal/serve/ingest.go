@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dassa/internal/dass"
+)
+
+// IngestConfig sizes the polling ingester.
+type IngestConfig struct {
+	// Dir is the watched directory newly recorded minute files land in.
+	Dir string
+	// Poll is the scan interval (default 2s).
+	Poll time.Duration
+	// RetainFiles bounds the served catalog to the newest N files; zero
+	// keeps everything. Files aging out are dropped from the catalog (and
+	// the block cache), never deleted from disk.
+	RetainFiles int
+	// LiveVCA maintains a rolling virtual concatenated array over the
+	// ingested series (CreateVCA once, AppendToVCA incrementally) at
+	// Dir/<LiveVCAName>, so offline tools see the same merged view the
+	// daemon serves.
+	LiveVCA bool
+	// Log receives ingest events; nil silences them.
+	Log *log.Logger
+}
+
+// LiveVCAName is the rolling VCA the ingester maintains inside the watched
+// directory when IngestConfig.LiveVCA is set.
+const LiveVCAName = "live.vca.dasf"
+
+// IngestStats is a point-in-time snapshot of the ingest loop's counters.
+type IngestStats struct {
+	Scans         int64 `json:"scans"`
+	FilesTotal    int   `json:"files_total"`    // currently served catalog size
+	FilesIngested int64 `json:"files_ingested"` // new files seen over the daemon's life
+	FilesChanged  int64 `json:"files_changed"`  // in-place rewrites detected
+	FilesRemoved  int64 `json:"files_removed"`  // deletions + retention drops
+	BadFiles      int   `json:"bad_files"`      // skipped by the last scan
+	VCAAppends    int64 `json:"vca_appends"`
+	VCAErrors     int64 `json:"vca_errors"`
+	// LagMS is the newest ingested file's latency: time between its mtime
+	// and the scan that cataloged it. -1 until a file has been ingested.
+	LagMS int64 `json:"ingest_lag_ms"`
+	// LastScanUnixMS and LastScanDurMS describe the most recent poll.
+	LastScanUnixMS int64 `json:"last_scan_unix_ms"`
+	LastScanDurMS  int64 `json:"last_scan_dur_ms"`
+}
+
+// fileStamp is what the ingester remembers per cataloged file to detect
+// in-place change cheaply (the scan itself re-validates via the index).
+type fileStamp struct {
+	timestamp int64
+	samples   int
+	offset    int64
+}
+
+// Ingester polls a directory for newly arriving DASF files and maintains
+// the live catalog the HTTP handlers query. All methods are safe for
+// concurrent use.
+type Ingester struct {
+	cfg   IngestConfig
+	cache *BlockCache
+
+	mu      sync.RWMutex
+	cat     *dass.Catalog
+	bad     []dass.BadFile
+	known   map[string]fileStamp
+	vcaTail int64 // newest member timestamp in the live VCA
+	vcaSeen map[string]bool
+	stats   IngestStats
+}
+
+// NewIngester builds an ingester over dir. cache may be nil (no
+// invalidation hooks). Call ScanOnce or Run to populate the catalog.
+func NewIngester(cfg IngestConfig, cache *BlockCache) *Ingester {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 2 * time.Second
+	}
+	return &Ingester{
+		cfg:     cfg,
+		cache:   cache,
+		cat:     dass.CatalogOf(nil),
+		known:   map[string]fileStamp{},
+		vcaSeen: map[string]bool{},
+	}
+}
+
+func (ing *Ingester) logf(format string, args ...any) {
+	if ing.cfg.Log != nil {
+		ing.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Run polls until ctx is cancelled. The first scan happens immediately.
+func (ing *Ingester) Run(ctx context.Context) {
+	t := time.NewTicker(ing.cfg.Poll)
+	defer t.Stop()
+	for {
+		if err := ing.ScanOnce(); err != nil {
+			ing.logf("ingest: scan failed: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ScanOnce runs one poll cycle: tolerant cached scan, cache invalidation
+// for changed/removed files, retention trim, and live-VCA extension.
+func (ing *Ingester) ScanOnce() error {
+	t0 := time.Now()
+	cat, bad, err := dass.ScanDirCachedTolerant(ing.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	entries := cat.Entries()
+
+	// Retention: keep the newest N files in the served catalog. Trimmed
+	// files drop out of `seen` below, so the diff counts them as removed
+	// and invalidates their cached blocks.
+	if n := ing.cfg.RetainFiles; n > 0 && len(entries) > n {
+		entries = entries[len(entries)-n:]
+	}
+
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+
+	// Diff against what we served before: invalidate cached blocks of
+	// changed files, count arrivals, measure ingest lag.
+	seen := map[string]bool{}
+	var newest int64 = -1
+	var lag int64 = -1
+	for _, e := range entries {
+		seen[e.Path] = true
+		st, ok := ing.known[e.Path]
+		now := fileStamp{timestamp: e.Timestamp, samples: e.Info.NumSamples, offset: e.Info.DataOffset}
+		switch {
+		case !ok:
+			ing.stats.FilesIngested++
+			if fi, err := os.Stat(e.Path); err == nil {
+				if l := time.Since(fi.ModTime()).Milliseconds(); l > lag {
+					lag = l
+				}
+			}
+			if e.Timestamp > newest {
+				newest = e.Timestamp
+			}
+		case st != now:
+			ing.stats.FilesChanged++
+			if ing.cache != nil {
+				ing.cache.InvalidatePath(e.Path)
+			}
+		}
+		ing.known[e.Path] = now
+	}
+	for path := range ing.known {
+		if !seen[path] {
+			delete(ing.known, path)
+			ing.stats.FilesRemoved++
+			if ing.cache != nil {
+				ing.cache.InvalidatePath(path)
+			}
+		}
+	}
+
+	ing.cat = dass.CatalogOf(entries)
+	ing.bad = bad
+	ing.stats.Scans++
+	ing.stats.FilesTotal = len(entries)
+	ing.stats.BadFiles = len(bad)
+	if lag >= 0 {
+		ing.stats.LagMS = lag
+	} else if ing.stats.Scans == 1 {
+		ing.stats.LagMS = -1
+	}
+	ing.stats.LastScanUnixMS = t0.UnixMilli()
+	ing.stats.LastScanDurMS = time.Since(t0).Milliseconds()
+
+	if ing.cfg.LiveVCA {
+		ing.extendLiveVCALocked(entries)
+	}
+	if newest >= 0 {
+		ing.logf("ingest: %d files (+%d new, %d bad), newest %012d, lag %dms",
+			len(entries), ing.stats.FilesIngested, len(bad), newest, lag)
+	}
+	return nil
+}
+
+// extendLiveVCALocked keeps Dir/live.vca.dasf covering the ingested series:
+// created on the first batch, extended with AppendToVCA afterwards. Files
+// that cannot continue the series (shape change, out-of-order arrival) are
+// counted, not fatal.
+func (ing *Ingester) extendLiveVCALocked(entries []dass.Entry) {
+	path := filepath.Join(ing.cfg.Dir, LiveVCAName)
+	var pending []dass.Entry
+	for _, e := range entries {
+		if !ing.vcaSeen[e.Path] && e.Timestamp >= ing.vcaTail {
+			pending = append(pending, e)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	var err error
+	if _, statErr := os.Stat(path); statErr != nil {
+		_, err = dass.CreateVCA(path, pending)
+	} else {
+		_, err = dass.AppendToVCA(path, pending)
+	}
+	if err != nil {
+		ing.stats.VCAErrors++
+		ing.logf("ingest: live VCA: %v", err)
+		return
+	}
+	ing.stats.VCAAppends++
+	for _, e := range pending {
+		ing.vcaSeen[e.Path] = true
+	}
+	ing.vcaTail = pending[len(pending)-1].Timestamp
+}
+
+// Catalog returns the current served catalog (a consistent snapshot —
+// later scans replace, never mutate, it).
+func (ing *Ingester) Catalog() *dass.Catalog {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	return ing.cat
+}
+
+// BadFiles returns the files the last scan skipped.
+func (ing *Ingester) BadFiles() []dass.BadFile {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	return append([]dass.BadFile(nil), ing.bad...)
+}
+
+// Stats snapshots the ingest counters.
+func (ing *Ingester) Stats() IngestStats {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	return ing.stats
+}

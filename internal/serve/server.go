@@ -1,0 +1,542 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dassa/internal/core"
+	"dassa/internal/dasf"
+	"dassa/internal/dass"
+	"dassa/internal/detect"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	Ingest IngestConfig
+	// CacheBytes bounds the block cache (default 64 MiB).
+	CacheBytes int64
+	// MaxConcurrent bounds simultaneously executing queries; excess
+	// requests wait in a bounded queue (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds the wait queue; a request arriving when the queue is
+	// full gets 429 + Retry-After immediately (default 8).
+	MaxQueue int
+	// QueueWait is the longest a queued request waits for a slot before
+	// 429 (default 5s).
+	QueueWait time.Duration
+	// DetectJobs bounds concurrently executing /detect jobs within the
+	// admitted set (default 2) — detection is the expensive workload.
+	DetectJobs int
+	// Nodes/CoresPerNode size the in-process HAEE engine (defaults 1/4).
+	Nodes        int
+	CoresPerNode int
+	// Log receives server events; nil silences them.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.DetectJobs <= 0 {
+		c.DetectJobs = 2
+	}
+	return c
+}
+
+// AdmissionStats snapshots the overload-control counters.
+type AdmissionStats struct {
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// admission is the bounded-queue gate in front of the query handlers:
+// MaxConcurrent requests execute, MaxQueue more wait (up to QueueWait),
+// everyone else gets an immediate 429. The daemon degrades; it does not
+// collapse.
+type admission struct {
+	sem       chan struct{}
+	queue     chan struct{}
+	queueWait time.Duration
+	admitted  atomic.Int64
+	queued    atomic.Int64
+	rejected  atomic.Int64
+	inFlight  atomic.Int64
+}
+
+func newAdmission(cfg Config) *admission {
+	return &admission{
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		queue:     make(chan struct{}, cfg.MaxQueue),
+		queueWait: cfg.QueueWait,
+	}
+}
+
+// acquire returns a release func, or false if the request must be shed.
+func (a *admission) acquire(r *http.Request) (func(), bool) {
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		// No free slot: try to queue.
+		select {
+		case a.queue <- struct{}{}:
+		default:
+			a.rejected.Add(1)
+			return nil, false
+		}
+		a.queued.Add(1)
+		timer := time.NewTimer(a.queueWait)
+		defer timer.Stop()
+		select {
+		case a.sem <- struct{}{}:
+			<-a.queue
+		case <-timer.C:
+			<-a.queue
+			a.rejected.Add(1)
+			return nil, false
+		case <-r.Context().Done():
+			<-a.queue
+			return nil, false
+		}
+	}
+	a.admitted.Add(1)
+	a.inFlight.Add(1)
+	return func() {
+		a.inFlight.Add(-1)
+		<-a.sem
+	}, true
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		Admitted: a.admitted.Load(),
+		Queued:   a.queued.Load(),
+		Rejected: a.rejected.Load(),
+		InFlight: a.inFlight.Load(),
+	}
+}
+
+// Server is the dassd HTTP service: ingester + cache + handlers.
+type Server struct {
+	cfg      Config
+	ing      *Ingester
+	cache    *BlockCache
+	fw       *core.Framework
+	adm      *admission
+	jobs     chan struct{}
+	jobsDone atomic.Int64
+	start    time.Time
+}
+
+// NewServer wires the daemon together. Call s.Ingester().Run (or ScanOnce)
+// to populate the catalog, and s.Handler() for the HTTP mux.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := NewBlockCache(cfg.CacheBytes)
+	return &Server{
+		cfg:   cfg,
+		ing:   NewIngester(cfg.Ingest, cache),
+		cache: cache,
+		fw: core.New(core.Config{
+			Nodes:        cfg.Nodes,
+			CoresPerNode: cfg.CoresPerNode,
+			FailPolicy:   dass.FailDegrade,
+		}),
+		adm:   newAdmission(cfg),
+		jobs:  make(chan struct{}, cfg.DetectJobs),
+		start: time.Now(),
+	}
+}
+
+// Ingester exposes the daemon's ingest loop.
+func (s *Server) Ingester() *Ingester { return s.ing }
+
+// Cache exposes the block cache (tests and /status use it).
+func (s *Server) Cache() *BlockCache { return s.cache }
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.admit(s.handleSearch))
+	mux.HandleFunc("/read", s.admit(s.handleRead))
+	mux.HandleFunc("/detect", s.admit(s.handleDetect))
+	// /status stays outside admission control: it is the endpoint you use
+	// to observe overload, so it must answer during overload.
+	mux.HandleFunc("/status", s.handleStatus)
+	return mux
+}
+
+// admit wraps a handler with the bounded-queue gate.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.adm.acquire(r)
+		if !ok {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": "server overloaded, retry later",
+			})
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", name, v)
+	}
+	return n, nil
+}
+
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", name, v)
+	}
+	return n, nil
+}
+
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", name, v)
+	}
+	return f, nil
+}
+
+// fileJSON is one catalog entry in search results.
+type fileJSON struct {
+	Timestamp   int64  `json:"timestamp"`
+	Path        string `json:"path"`
+	NumChannels int    `json:"num_channels"`
+	NumSamples  int    `json:"num_samples"`
+}
+
+func toFileJSON(entries []dass.Entry) []fileJSON {
+	out := make([]fileJSON, len(entries))
+	for i, e := range entries {
+		out[i] = fileJSON{
+			Timestamp:   e.Timestamp,
+			Path:        e.Path,
+			NumChannels: e.Info.NumChannels,
+			NumSamples:  e.Info.NumSamples,
+		}
+	}
+	return out
+}
+
+// selectEntries applies the das_search grammar to the live catalog:
+// e= (regex over the 12-digit timestamp), s=&c= (start + count),
+// start=&end= (half-open range), or everything.
+func (s *Server) selectEntries(r *http.Request) ([]dass.Entry, error) {
+	cat := s.ing.Catalog()
+	q := r.URL.Query()
+	if e := q.Get("e"); e != "" {
+		return cat.SearchRegex(e)
+	}
+	start, err := queryInt64(r, "s", 0)
+	if err != nil {
+		return nil, err
+	}
+	count, err := queryInt(r, "c", 0)
+	if err != nil {
+		return nil, err
+	}
+	if start != 0 && count > 0 {
+		return cat.SearchStartCount(start, count), nil
+	}
+	lo, err := queryInt64(r, "start", 0)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := queryInt64(r, "end", 0)
+	if err != nil {
+		return nil, err
+	}
+	if lo != 0 || hi != 0 {
+		if hi == 0 {
+			hi = 1 << 62
+		}
+		return cat.SearchRange(lo, hi), nil
+	}
+	return cat.Entries(), nil
+}
+
+// handleSearch is GET /search — das_search over the live catalog.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	matches, err := s.selectEntries(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total_files": s.ing.Catalog().Len(),
+		"matches":     len(matches),
+		"files":       toFileJSON(matches),
+	})
+}
+
+// handleRead is GET /read — a LAV-style channel×time subset over the
+// selected files, read through the block cache. Parameters: the /search
+// selection grammar plus ch0/ch1 (channel range), t0/t1 (sample range,
+// view-relative) and data=0 to return only the summary.
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.selectEntries(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if len(entries) == 0 {
+		badRequest(w, "no files match the selection")
+		return
+	}
+	v, err := dass.ViewOver(entries)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	v = v.WithSlabReader(s.cache.SlabReader())
+	nch, nt := v.Shape()
+	ch0, err := queryInt(r, "ch0", 0)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	ch1, err := queryInt(r, "ch1", nch)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	t0, err := queryInt(r, "t0", 0)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	t1, err := queryInt(r, "t1", nt)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	sub, err := v.Subset(ch0, ch1, t0, t1)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	arr, tr, gaps, err := sub.ReadPolicy(dass.FailDegrade)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	resp := map[string]any{
+		"num_channels": arr.Channels,
+		"num_samples":  arr.Samples,
+		"files":        len(entries),
+		"io": map[string]int64{
+			"opens": tr.Opens, "reads": tr.Reads, "bytes_read": tr.BytesRead,
+		},
+		"gaps": len(gaps),
+	}
+	if r.URL.Query().Get("data") != "0" {
+		rows := make([][]float64, arr.Channels)
+		for c := range rows {
+			rows[c] = arr.Row(c)
+		}
+		resp["data"] = rows
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// regionJSON is one detected event in /detect results.
+type regionJSON struct {
+	TLo  int     `json:"t_lo"`
+	THi  int     `json:"t_hi"`
+	ChLo int     `json:"ch_lo"`
+	ChHi int     `json:"ch_hi"`
+	Peak float64 `json:"peak"`
+}
+
+// handleDetect is GET /detect — a windowed detection job on the in-process
+// HAEE engine, gated by the bounded job semaphore. op=localsimi (default)
+// or stalta, over the /search selection grammar.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.selectEntries(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if len(entries) == 0 {
+		badRequest(w, "no files match the selection")
+		return
+	}
+
+	// Bounded job concurrency: detection is the expensive workload, so
+	// fewer of them run at once than the admission gate allows in.
+	select {
+	case s.jobs <- struct{}{}:
+		defer func() { <-s.jobs }()
+	case <-r.Context().Done():
+		return
+	}
+
+	v, err := dass.ViewOver(entries)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	v = v.WithSlabReader(s.cache.SlabReader())
+	rate := 0.0
+	if val, ok := entries[0].Info.Global[dasf.KeySamplingFrequency]; ok {
+		rate = float64(val.Int)
+	}
+	if rate <= 0 {
+		rate = 100
+	}
+	threshold, err := queryFloat(r, "threshold", 1.5)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+
+	op := r.URL.Query().Get("op")
+	if op == "" {
+		op = "localsimi"
+	}
+	t0 := time.Now()
+	var regions []detect.Region
+	var rep core.Report
+	switch op {
+	case "localsimi":
+		opt := core.DefaultLocalSimi(rate)
+		opt.Threshold = threshold
+		if opt.M, err = queryInt(r, "M", opt.M); err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+		if opt.Stride, err = queryInt(r, "stride", opt.Stride); err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+		_, regions, rep, err = s.fw.LocalSimilarity(v, opt)
+	case "stalta":
+		p := detect.STALTAParams{STASamples: max(int(rate/10), 2), LTASamples: max(int(rate), 8)}
+		if p.STASamples, err = queryInt(r, "sta", p.STASamples); err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+		if p.LTASamples, err = queryInt(r, "lta", p.LTASamples); err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+		var out *dasf.Array2D
+		out, rep, err = s.fw.STALTA(v, p, "")
+		if err == nil {
+			nch, _ := v.Shape()
+			regions = detect.FindEventsBanded(out, threshold, max(nch/8, 4))
+		}
+	default:
+		badRequest(w, "unknown op %q (want localsimi or stalta)", op)
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	s.jobsDone.Add(1)
+
+	events := make([]regionJSON, len(regions))
+	for i, reg := range regions {
+		events[i] = regionJSON{TLo: reg.TLo, THi: reg.THi, ChLo: reg.ChLo, ChHi: reg.ChHi, Peak: reg.Peak}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"op":       op,
+		"files":    len(entries),
+		"events":   events,
+		"wall_ms":  time.Since(t0).Milliseconds(),
+		"degraded": rep.Degraded(),
+		"phases":   rep.Phases,
+	})
+}
+
+// handleStatus is GET /status: catalog size, ingest lag, cache and
+// admission counters — plus ?file=<name> for the das_info -json view of
+// one file in the watched directory.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("file"); name != "" {
+		// Confine the detail view to the watched directory.
+		path := filepath.Join(s.cfg.Ingest.Dir, filepath.Base(name))
+		info, _, err := dasf.ReadInfo(path)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, dasf.NewInfoJSON(info))
+		return
+	}
+	cat := s.ing.Catalog()
+	catalog := map[string]any{"files": cat.Len()}
+	if cat.Len() > 0 {
+		entries := cat.Entries()
+		catalog["oldest"] = entries[0].Timestamp
+		catalog["newest"] = entries[len(entries)-1].Timestamp
+		catalog["num_channels"] = entries[0].Info.NumChannels
+	}
+	var bad []string
+	for _, b := range s.ing.BadFiles() {
+		bad = append(bad, b.Path)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"catalog":   catalog,
+		"ingest":    s.ing.Stats(),
+		"cache":     s.cache.Stats(),
+		"admission": s.adm.stats(),
+		"jobs": map[string]any{
+			"active": len(s.jobs), "max": cap(s.jobs), "done": s.jobsDone.Load(),
+		},
+		"bad_files": bad,
+	})
+}

@@ -3,11 +3,14 @@ package clitest
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -137,6 +140,47 @@ func TestServerDaemon(t *testing.T) {
 		t.Fatalf("/detect: code %d, %+v", code, dr)
 	}
 
+	// /metrics serves Prometheus text and the traffic above moved the
+	// counters: requests by route, cache hits from the repeated read,
+	// ingest lag from the live arrival.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil || mresp.StatusCode != 200 {
+		t.Fatalf("/metrics: status %d, %v", mresp.StatusCode, err)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	metrics := string(mbody)
+	for _, want := range []string{
+		`dassa_http_requests_total{route="/read"} 2`,
+		`dassa_http_requests_total{route="/detect"} 1`,
+		"# TYPE dassa_http_request_seconds histogram",
+		"# TYPE dassa_cache_hits_total counter",
+		"dassa_ingest_lag_seconds",
+		"dassa_catalog_files 5",
+		"dassa_degraded_reads_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	if strings.Contains(metrics, "dassa_cache_hits_total 0\n") {
+		t.Error("repeated /read left dassa_cache_hits_total at 0")
+	}
+
+	// pprof stays off unless the daemon opted in with -pprof.
+	if presp, err := http.Get(base + "/debug/pprof/cmdline"); err == nil {
+		presp.Body.Close()
+		if presp.StatusCode != 404 {
+			t.Fatalf("pprof served without -pprof: status %d", presp.StatusCode)
+		}
+	}
+
 	// /status?file= returns the das_info -json projection.
 	var info struct {
 		Kind        string `json:"kind"`
@@ -192,7 +236,7 @@ func TestServerOverloadSheds(t *testing.T) {
 
 	cmd := exec.Command(filepath.Join(bins, "dassd"),
 		"-dir", watch, "-addr", "127.0.0.1:0", "-poll", "1s",
-		"-max-inflight", "1", "-queue", "1", "-queue-wait", "100ms")
+		"-max-inflight", "1", "-queue", "1", "-queue-wait", "100ms", "-pprof")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -273,5 +317,31 @@ func TestServerOverloadSheds(t *testing.T) {
 	resp.Body.Close()
 	if status.Admission.Admitted == 0 {
 		t.Fatalf("admission counters empty: %+v", status)
+	}
+
+	// /metrics answers during (and after) overload — it is mounted outside
+	// the admission gate — and its shed counter agrees with /status.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil || mresp.StatusCode != 200 {
+		t.Fatalf("/metrics during overload: status %d, %v", mresp.StatusCode, err)
+	}
+	want := fmt.Sprintf("dassa_http_sheds_total %d", status.Admission.Rejected)
+	if !strings.Contains(string(mbody), want) {
+		t.Errorf("/metrics lacks %q", want)
+	}
+
+	// -pprof was passed, so the profiling mux is live.
+	presp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != 200 {
+		t.Fatalf("-pprof set but /debug/pprof/cmdline gave %d", presp.StatusCode)
 	}
 }

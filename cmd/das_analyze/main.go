@@ -11,7 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -22,6 +22,7 @@ import (
 	"dassa/internal/faults"
 	"dassa/internal/haee"
 	"dassa/internal/mpi"
+	"dassa/internal/obs"
 	"dassa/internal/pfs"
 )
 
@@ -33,21 +34,23 @@ const (
 	exitUsage = 2
 )
 
+// logger is the shared structured logger (obs.LogFlags); set right after
+// flag parsing, before any fatal path can run.
+var logger = obs.Nop()
+
 // fatalUsage reports a bad invocation (exit 2).
 func fatalUsage(format string, args ...any) {
-	log.Printf(format, args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(exitUsage)
 }
 
 // fatalData reports a failed run over real data (exit 1).
 func fatalData(v ...any) {
-	log.Print(v...)
+	logger.Error(fmt.Sprint(v...))
 	os.Exit(exitData)
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("das_analyze: ")
 	var (
 		in    = flag.String("in", "", "input DASF data file or VCA (required)")
 		op    = flag.String("op", "localsimi", "analysis: localsimi | interferometry | stacked | stalta")
@@ -76,7 +79,14 @@ func main() {
 		failPol = flag.String("fail-policy", "abort", "member file still bad after retries: abort | degrade (NaN gaps + quality report)")
 		inject  = flag.String("inject", "", "fault injection spec for chaos testing, e.g. 'seed=1,transient=0.3,max=3,missing=a.dasf'")
 	)
+	newLogger := obs.LogFlags(nil)
 	flag.Parse()
+	var logErr error
+	if logger, logErr = newLogger(os.Stderr); logErr != nil {
+		fmt.Fprintf(os.Stderr, "das_analyze: %v\n", logErr)
+		os.Exit(exitUsage)
+	}
+	slog.SetDefault(logger)
 	if *in == "" {
 		fatalUsage("-in is required")
 	}
@@ -247,9 +257,11 @@ func main() {
 	}
 
 	fmt.Printf("engine: %s, %d node(s) × %d core(s)\n", engMode, *nodes, *cores)
-	fmt.Printf("phases: read %v, compute %v, write %v (total %v)\n",
-		rep.ReadTime.Round(time.Millisecond), rep.ComputeTime.Round(time.Millisecond),
+	fmt.Printf("phases: read %v (exchange %v), compute %v, write %v (total %v)\n",
+		rep.ReadTime.Round(time.Millisecond), rep.ExchangeTime.Round(time.Millisecond),
+		rep.ComputeTime.Round(time.Millisecond),
 		rep.WriteTime.Round(time.Millisecond), rep.Total().Round(time.Millisecond))
+	fmt.Printf("breakdown: %s\n", rep.Phases.String())
 	fmt.Printf("I/O: %d opens, %d read calls, %.1f MB read; est. memory/node %.1f MB\n",
 		rep.ReadTrace.Opens, rep.ReadTrace.Reads, float64(rep.ReadTrace.BytesRead)/1e6,
 		float64(rep.MemPerNode)/1e6)

@@ -13,15 +13,18 @@
 //	GET /detect?op=localsimi|stalta&start=...&end=...
 //	GET /status                           catalog, ingest, cache, admission
 //	GET /status?file=<name>               das_info -json for one file
+//	GET /metrics                          Prometheus text exposition
+//	GET /debug/pprof/                     profiling (only with -pprof)
 //
-// SIGINT/SIGTERM drain in-flight requests and exit 0.
+// Logs are structured (-log-level, -log-format); SIGINT/SIGTERM drain
+// in-flight requests and exit 0.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -29,12 +32,11 @@ import (
 	"syscall"
 	"time"
 
+	"dassa/internal/obs"
 	"dassa/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dassd: ")
 	var (
 		dir      = flag.String("dir", "./das-data", "watched directory for arriving DASF files")
 		addr     = flag.String("addr", "127.0.0.1:8057", "HTTP listen address (host:port, port 0 picks one)")
@@ -48,14 +50,26 @@ func main() {
 		jobs     = flag.Int("jobs", 2, "concurrent /detect jobs")
 		nodes    = flag.Int("nodes", 1, "simulated nodes for the analysis engine")
 		cores    = flag.Int("cores", 4, "cores per node for the analysis engine")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
+	newLogger := obs.LogFlags(nil)
 	flag.Parse()
 
-	if st, err := os.Stat(*dir); err != nil || !st.IsDir() {
-		log.Fatalf("-dir %s is not a readable directory (%v)", *dir, err)
+	logger, err := newLogger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dassd: %v\n", err)
+		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "dassd: ", 0)
+	if st, err := os.Stat(*dir); err != nil || !st.IsDir() {
+		logger.Error("watched directory is not readable", "dir", *dir, "err", err)
+		os.Exit(1)
+	}
+
+	// Metrics are also published as an expvar, so tooling that only speaks
+	// /debug/vars (once pprof's mux side effects are mounted) finds them.
+	obs.Default().PublishExpvar("dassa_metrics")
+
 	s := serve.NewServer(serve.Config{
 		Ingest: serve.IngestConfig{
 			Dir:         *dir,
@@ -72,11 +86,13 @@ func main() {
 		Nodes:         *nodes,
 		CoresPerNode:  *cores,
 		Log:           logger,
+		EnablePprof:   *pprofOn,
 	})
 
 	// Populate the catalog before accepting traffic, then poll.
 	if err := s.Ingester().ScanOnce(); err != nil {
-		log.Fatalf("initial scan: %v", err)
+		logger.Error("initial scan failed", "err", err)
+		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -84,13 +100,14 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	// Printed on stdout so wrappers (and the e2e test) can discover the
 	// port when -addr ends in :0.
-	log.SetOutput(os.Stdout)
-	log.Printf("listening on %s (%d files cataloged)", ln.Addr(), s.Ingester().Catalog().Len())
-	log.SetOutput(os.Stderr)
+	fmt.Printf("dassd: listening on %s (%d files cataloged)\n", ln.Addr(), s.Ingester().Catalog().Len())
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"files", s.Ingester().Catalog().Len(), "pprof", *pprofOn)
 
 	srv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -98,15 +115,17 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	logger.Printf("signal received, draining")
+	logger.Info("signal received, draining")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
+		os.Exit(1)
 	}
-	logger.Printf("shutdown complete")
+	logger.Info("shutdown complete")
 }

@@ -10,10 +10,12 @@ package arrayudf
 
 import (
 	"fmt"
+	"time"
 
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/mpi"
+	"dassa/internal/obs"
 	"dassa/internal/pfs"
 )
 
@@ -142,7 +144,9 @@ func IndependentRead(c *mpi.Comm, v *dass.View, chLo, chHi int, policy dass.Fail
 		if err != nil {
 			panic(fmt.Errorf("arrayudf: ghost-extended subset: %w", err))
 		}
+		t0 := time.Now()
 		d, tr, subGaps, err := sub.ReadPolicy(policy)
+		v.ObserveSpan(c.Rank(), obs.PhaseRead, time.Since(t0))
 		if err != nil {
 			panic(fmt.Errorf("arrayudf: block read: %w", err))
 		}

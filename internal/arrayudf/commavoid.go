@@ -2,10 +2,12 @@ package arrayudf
 
 import (
 	"fmt"
+	"time"
 
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/mpi"
+	"dassa/internal/obs"
 	"dassa/internal/pfs"
 )
 
@@ -54,6 +56,10 @@ func CommAvoidingRead(c *mpi.Comm, v *dass.View, chLo, chHi int, policy dass.Fai
 		tagDown = 101 // payload travels to the next rank (their low ghost)
 		tagUp   = 102 // payload travels to the previous rank (their high ghost)
 	)
+	// The halo messages are the exchange cost this strategy adds on top of
+	// the reader's all-to-all; the recorder folds both into PhaseExchange.
+	tHalo := time.Now()
+	defer func() { v.ObserveSpan(rank, obs.PhaseExchange, time.Since(tHalo)) }()
 	width := ownHi - ownLo
 	send := min(nominal, width)
 	// Everyone with a neighbor sends `send` boundary rows; receivers keep

@@ -8,6 +8,7 @@ import (
 
 	"dassa/internal/dass"
 	"dassa/internal/mpi"
+	"dassa/internal/obs"
 	"dassa/internal/pfs"
 )
 
@@ -20,6 +21,9 @@ type Fig7Row struct {
 	// PaperScale projects the same strategy's analytic op counts at the
 	// paper's dimensions (1440 files × 700 MB, 90 processes).
 	PaperScale time.Duration
+	// Phases is the measured read/exchange split (max across ranks); pure
+	// read strategies never enter compute or write.
+	Phases PhasesJSON `json:"phases"`
 }
 
 // RunFig7 reproduces Figure 7: reading a VCA with the "collective-per-file"
@@ -65,9 +69,11 @@ func RunFig7(o Options) ([]Fig7Row, error) {
 	var rows []Fig7Row
 	for _, m := range methods {
 		var tr pfs.Trace
+		spans := obs.NewSpans(o.Ranks)
+		view := m.view.WithSpans(spans)
 		wall, err := timeIt(func() error {
 			_, werr := mpi.Run(o.Ranks, func(c *mpi.Comm) {
-				_, t := m.read(c, m.view)
+				_, t := m.read(c, view)
 				if c.Rank() == 0 {
 					tr = t
 				}
@@ -83,6 +89,7 @@ func RunFig7(o Options) ([]Fig7Row, error) {
 			Trace:      tr,
 			Projected:  o.Model.Project(tr).Total(),
 			PaperScale: o.Model.Project(paperScaleTrace(m.name)).Total(),
+			Phases:     phasesOf(spans.Report()),
 		}
 		if m.name == "RCA independent" {
 			// Figure 7's RCA bars include the (serial) merge that produced

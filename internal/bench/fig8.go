@@ -21,6 +21,9 @@ type Fig8Row struct {
 	ReadModel    time.Duration // measured trace projected on the Cori model
 	ComputeModel time.Duration // work-model compute wall (see workmodel.go)
 	WriteWall    time.Duration // measured write of the single output array
+	// Phases is the engine's measured per-rank breakdown (max across
+	// ranks), the same decomposition the paper plots per rank.
+	Phases PhasesJSON `json:"phases"`
 }
 
 // RunFig8 reproduces Figure 8: the original pure-MPI ArrayUDF versus the
@@ -119,6 +122,7 @@ func RunFig8(o Options) ([]Fig8Row, error) {
 				ReadModel:    o.Model.Project(rep.ReadTrace).Total(),
 				ComputeModel: modeledWall(unit, nch, workers),
 				WriteWall:    rep.WriteTime,
+				Phases:       phasesOf(rep.Phases),
 			}
 			rows = append(rows, row)
 		}

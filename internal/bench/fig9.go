@@ -19,6 +19,9 @@ type Fig9Row struct {
 	ComputeWall  time.Duration // measured serial compute on this machine
 	WriteWall    time.Duration
 	ComputeModel time.Duration // modeled at o.CoresPerNode*3 (≈12) cores
+	// Phases restates the measured walls in the suite's common breakdown
+	// form (single node: no exchange).
+	Phases PhasesJSON `json:"phases"`
 }
 
 // RunFig9 reproduces Figure 9: the same interferometry pipeline run by
@@ -104,6 +107,13 @@ func RunFig9(o Options) ([]Fig9Row, error) {
 		return nil, err
 	}
 
+	phases := func(compute time.Duration) PhasesJSON {
+		return PhasesJSON{
+			ReadMS:    float64(readWall.Nanoseconds()) / 1e6,
+			ComputeMS: float64(compute.Nanoseconds()) / 1e6,
+			WriteMS:   float64(writeWall.Nanoseconds()) / 1e6,
+		}
+	}
 	rows := []Fig9Row{
 		{
 			System:       "MATLAB-style baseline",
@@ -111,6 +121,7 @@ func RunFig9(o Options) ([]Fig9Row, error) {
 			ComputeWall:  blStats.Compute,
 			WriteWall:    writeWall,
 			ComputeModel: blStats.Compute, // interpreted loop: no channel parallelism
+			Phases:       phases(blStats.Compute),
 		},
 		{
 			System:       "DASSA (HAEE)",
@@ -118,6 +129,7 @@ func RunFig9(o Options) ([]Fig9Row, error) {
 			ComputeWall:  dsCompute,
 			WriteWall:    writeWall,
 			ComputeModel: dsCompute / cores, // whole pipeline channel-parallel
+			Phases:       phases(dsCompute),
 		},
 	}
 

@@ -50,6 +50,62 @@ func TestRunJSONSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunJSONPhaseFields(t *testing.T) {
+	// Figs. 7–9 embed the common read/exchange/compute/write breakdown;
+	// the JSON document must carry it with stable field names.
+	o := testOptions(t)
+	rep, err := RunJSON(o, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Experiments []struct {
+			Rows []struct {
+				Method string `json:"Method"`
+				Phases *struct {
+					ReadMS     float64 `json:"read_ms"`
+					ExchangeMS float64 `json:"exchange_ms"`
+					ComputeMS  float64 `json:"compute_ms"`
+					WriteMS    float64 `json:"write_ms"`
+				} `json:"phases"`
+			} `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if len(back.Experiments) != 1 || len(back.Experiments[0].Rows) != 3 {
+		t.Fatalf("fig7 shape lost in JSON: %+v", back)
+	}
+	for _, r := range back.Experiments[0].Rows {
+		if r.Phases == nil {
+			t.Fatalf("row %q lacks the phases object", r.Method)
+		}
+		if r.Phases.ReadMS <= 0 {
+			t.Errorf("row %q: read_ms = %v, want > 0", r.Method, r.Phases.ReadMS)
+		}
+		if r.Phases.ComputeMS != 0 || r.Phases.WriteMS != 0 {
+			t.Errorf("row %q: pure read strategy reports compute/write time: %+v",
+				r.Method, *r.Phases)
+		}
+	}
+	// The collective and comm-avoiding VCA reads exchange data; the RCA
+	// independent read never communicates.
+	rows := back.Experiments[0].Rows
+	for _, r := range rows[:2] {
+		if r.Phases.ExchangeMS <= 0 {
+			t.Errorf("row %q: exchange_ms = %v, want > 0", r.Method, r.Phases.ExchangeMS)
+		}
+	}
+	if last := rows[2]; last.Phases.ExchangeMS != 0 {
+		t.Errorf("row %q: exchange_ms = %v, want 0", last.Method, last.Phases.ExchangeMS)
+	}
+}
+
 func TestRunJSONUnknownExperiment(t *testing.T) {
 	if _, err := RunJSON(testOptions(t), "fig99"); err == nil {
 		t.Fatal("want error for unknown experiment")

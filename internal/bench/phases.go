@@ -1,0 +1,24 @@
+package bench
+
+import "dassa/internal/obs"
+
+// PhasesJSON is the per-phase wall-clock breakdown embedded in benchmark
+// rows: read / exchange / compute / write, each the maximum across ranks in
+// milliseconds (the straggler defines the phase wall, as in Figs. 8–10).
+// Phases a run never entered stay zero.
+type PhasesJSON struct {
+	ReadMS     float64 `json:"read_ms"`
+	ExchangeMS float64 `json:"exchange_ms"`
+	ComputeMS  float64 `json:"compute_ms"`
+	WriteMS    float64 `json:"write_ms"`
+}
+
+// phasesOf flattens a span report into the row form.
+func phasesOf(rep obs.PhaseReport) PhasesJSON {
+	return PhasesJSON{
+		ReadMS:     rep.Stat(obs.PhaseRead).MaxMS,
+		ExchangeMS: rep.Stat(obs.PhaseExchange).MaxMS,
+		ComputeMS:  rep.Stat(obs.PhaseCompute).MaxMS,
+		WriteMS:    rep.Stat(obs.PhaseWrite).MaxMS,
+	}
+}

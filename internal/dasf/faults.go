@@ -15,7 +15,10 @@ import (
 var ErrCorrupt = errors.New("dasf: corrupt file")
 
 // corruptf builds an ErrCorrupt-classified error with a formatted message.
+// Every classification is also counted, so corruption is visible on
+// /metrics without scraping logs.
 func corruptf(format string, args ...any) error {
+	mCorrupt.Inc()
 	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
 }
 

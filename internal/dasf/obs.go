@@ -1,0 +1,27 @@
+package dasf
+
+import "dassa/internal/obs"
+
+// Process-wide storage metrics. dasf is the single choke point every
+// storage consumer reads through, so counting here observes the whole
+// stack — CLIs, parallel readers, the daemon's cache misses — for free.
+// The registry is dependency-free stdlib atomics; the cost per op is one
+// atomic add.
+var (
+	mOpens = obs.Default().Counter("dassa_dasf_opens_total",
+		"DASF files opened (metadata parses included)")
+	mReads = obs.Default().Counter("dassa_dasf_reads_total",
+		"physical read calls issued")
+	mReadBytes = obs.Default().Counter("dassa_dasf_read_bytes_total",
+		"bytes fetched by physical reads")
+	mWrites = obs.Default().Counter("dassa_dasf_writes_total",
+		"physical positioned write calls issued")
+	mWriteBytes = obs.Default().Counter("dassa_dasf_write_bytes_total",
+		"bytes submitted by physical writes")
+	mRetries = obs.Default().Counter("dassa_dasf_retries_total",
+		"storage operations re-issued after transient failures")
+	mFaults = obs.Default().Counter("dassa_dasf_faults_total",
+		"storage faults hit (injected and real)")
+	mCorrupt = obs.Default().Counter("dassa_dasf_corrupt_total",
+		"format violations classified as ErrCorrupt")
+)

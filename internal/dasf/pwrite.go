@@ -124,6 +124,8 @@ func (w *ParallelWriter) WriteRows(chLo int, rows *Array2D) error {
 	w.stats.Writes++
 	w.stats.BytesWritten += int64(len(buf))
 	w.mu.Unlock()
+	mWrites.Inc()
+	mWriteBytes.Add(int64(len(buf)))
 	return nil
 }
 

@@ -75,10 +75,17 @@ func (r *Reader) readAt(buf []byte, off int64) (int, error) {
 		}
 		if err := r.inj.ReadFault(r.path); err != nil {
 			r.stats.FaultsInjected++
+			mFaults.Inc()
 			return 0, fmt.Errorf("dasf: %s: %w", r.path, err)
 		}
 	}
-	return r.f.ReadAt(buf, off)
+	n, err := r.f.ReadAt(buf, off)
+	mReads.Inc()
+	mReadBytes.Add(int64(n))
+	if err != nil && err != io.EOF {
+		mFaults.Inc()
+	}
+	return n, err
 }
 
 // Open opens path and parses its metadata, retrying transient failures
@@ -115,6 +122,8 @@ func Open(path string) (*Reader, error) {
 	}
 	r.stats.Add(cum)
 	r.stats.Retries += int64(attempts - 1)
+	mOpens.Inc()
+	mRetries.Add(int64(attempts - 1))
 	return r, nil
 }
 
@@ -333,6 +342,7 @@ func (r *Reader) PerChannelMeta() ([]Meta, error) {
 		return nil
 	})
 	r.stats.Retries += int64(attempts - 1)
+	mRetries.Add(int64(attempts - 1))
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +378,7 @@ func (r *Reader) ReadSlab(chLo, chHi, tLo, tHi int) (*Array2D, error) {
 		return r.readSlabOnce(out, chLo, chHi, tLo, tHi)
 	})
 	r.stats.Retries += int64(attempts - 1)
+	mRetries.Add(int64(attempts - 1))
 	if err != nil {
 		return nil, err
 	}

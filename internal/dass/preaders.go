@@ -2,9 +2,11 @@ package dass
 
 import (
 	"fmt"
+	"time"
 
 	"dassa/internal/dasf"
 	"dassa/internal/mpi"
+	"dassa/internal/obs"
 	"dassa/internal/pfs"
 )
 
@@ -107,7 +109,9 @@ func ReadIndependentPolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs.
 		if err != nil {
 			panic(fmt.Errorf("dass: independent read: %w", err))
 		}
+		t0 := time.Now()
 		data, tr, subGaps, err := sub.ReadPolicy(policy)
+		v.ObserveSpan(c.Rank(), obs.PhaseRead, time.Since(t0))
 		if err != nil {
 			panic(fmt.Errorf("dass: independent read: %w", err))
 		}
@@ -149,7 +153,9 @@ func ReadCollectivePerFilePolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block
 		var flat []float64
 		width := sp.tHi - sp.tLo
 		if c.Rank() == root {
+			tRead := time.Now()
 			part, err := v.readMemberSpan(sp, &local)
+			v.ObserveSpan(c.Rank(), obs.PhaseRead, time.Since(tRead))
 			if err != nil {
 				if policy == FailAbort {
 					panic(fmt.Errorf("dass: collective read: %w", err))
@@ -165,7 +171,9 @@ func ReadCollectivePerFilePolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block
 			local.Broadcasts++
 			local.BcastBytes += int64(len(flat)) * 8
 		}
+		tEx := time.Now()
 		flat = mpi.Bcast(c, root, flat)
+		v.ObserveSpan(c.Rank(), obs.PhaseExchange, time.Since(tEx))
 		// Keep only this rank's channel rows.
 		for ch := lo; ch < hi; ch++ {
 			src := flat[ch*width : (ch+1)*width]
@@ -206,7 +214,9 @@ func ReadCommAvoidingPolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs
 		var mine *dasf.Array2D
 		if myIdx < len(spans) {
 			sp := spans[myIdx]
+			tRead := time.Now()
 			part, err := v.readMemberSpan(sp, &local)
+			v.ObserveSpan(rank, obs.PhaseRead, time.Since(tRead))
 			if err != nil {
 				if policy == FailAbort {
 					panic(fmt.Errorf("dass: comm-avoiding read: %w", err))
@@ -244,7 +254,9 @@ func ReadCommAvoidingPolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs
 		if rank == 0 {
 			local.ExchangeRounds += int64(p - 1)
 		}
+		tEx := time.Now()
 		recv := mpi.Alltoallv(c, send)
+		v.ObserveSpan(rank, obs.PhaseExchange, time.Since(tEx))
 		// Place every source's contribution at its file's time offset.
 		for s := 0; s < p; s++ {
 			srcIdx := r*p + s

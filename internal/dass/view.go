@@ -2,8 +2,10 @@ package dass
 
 import (
 	"fmt"
+	"time"
 
 	"dassa/internal/dasf"
+	"dassa/internal/obs"
 	"dassa/internal/pfs"
 )
 
@@ -20,6 +22,10 @@ type View struct {
 	// slab, when non-nil, replaces the direct open-and-read of member
 	// hyperslabs — the hook a block cache plugs into (see WithSlabReader).
 	slab SlabReaderFunc
+	// spans, when non-nil, receives per-rank phase timings from the
+	// parallel readers — the hook behind the paper's read/exchange/compute
+	// breakdown (see WithSpans).
+	spans *obs.Spans
 }
 
 // SlabReaderFunc reads the hyperslab [chLo,chHi)×[tLo,tHi) of one physical
@@ -36,6 +42,23 @@ func (v *View) WithSlabReader(fn SlabReaderFunc) *View {
 	cp := *v
 	cp.slab = fn
 	return &cp
+}
+
+// WithSpans returns a copy of the view whose parallel reads record per-rank
+// phase timings (read vs exchange) into s. Subsets keep the recorder; a nil
+// s disables recording. Like WithSlabReader, this is a hook: the view layer
+// stays dependency-free and the engine decides where timings accumulate.
+func (v *View) WithSpans(s *obs.Spans) *View {
+	cp := *v
+	cp.spans = s
+	return &cp
+}
+
+// ObserveSpan records d under phase p for rank. Safe on views without a
+// recorder — engines above the read path (ghost exchange, compute) call
+// this unconditionally.
+func (v *View) ObserveSpan(rank int, p obs.Phase, d time.Duration) {
+	v.spans.Add(rank, p, d)
 }
 
 // ViewOver builds a VCA-shaped view over the entries entirely in memory —

@@ -19,6 +19,7 @@ import (
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/mpi"
+	"dassa/internal/obs"
 	"dassa/internal/omp"
 	"dassa/internal/pfs"
 )
@@ -112,6 +113,16 @@ type Report struct {
 	ReadTime    time.Duration
 	ComputeTime time.Duration
 	WriteTime   time.Duration
+
+	// ExchangeTime is the communication component of the load phase —
+	// broadcasts, all-to-alls, halo messages — max across ranks. It is a
+	// subset of ReadTime (which keeps its historical meaning of full block
+	// load wall time), isolating the paper's exchange cost.
+	ExchangeTime time.Duration
+
+	// Phases is the per-rank phase breakdown (read/exchange/compute/write)
+	// reduced across ranks — the machine-readable form of Figs. 8–10.
+	Phases obs.PhaseReport
 
 	ReadTrace  pfs.Trace
 	WriteTrace pfs.Trace
@@ -229,6 +240,10 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 
 	rep := Report{Mode: cfg.Mode, Nodes: cfg.Nodes, CoresPerNode: cfg.CoresPerNode}
 	nch, _ := v.Shape()
+	// Per-rank phase recorder: the parallel readers fill read/exchange via
+	// the view hook; the driver below records compute and write.
+	spans := obs.NewSpans(worldSize)
+	v = v.WithSpans(spans)
 	var runErr error
 	_, err := mpi.Run(worldSize, func(c *mpi.Comm) {
 		team := omp.NewTeam(threads)
@@ -239,7 +254,9 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 
 		t0 = time.Now()
 		out, sharedBytes, prepTr := compute(c, team, blk)
-		computeSec := time.Since(t0).Seconds()
+		computeDur := time.Since(t0)
+		computeSec := computeDur.Seconds()
+		spans.Add(c.Rank(), obs.PhaseCompute, computeDur)
 		readTr.Add(prepTr) // prepare-phase I/O counts as read I/O
 
 		// Memory estimate: each rank holds its block + shared payload; a
@@ -315,7 +332,9 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 			writeTr.Opens, writeTr.Writes, writeTr.BytesWritten = wr[0], wr[1], wr[2]
 		}
 		full := arrayudf.Gather(c, nch, arrayudf.Result{Data: out, ChLo: blk.ChLo, ChHi: blk.ChHi})
-		writeSec := time.Since(t0).Seconds()
+		writeDur := time.Since(t0)
+		writeSec := writeDur.Seconds()
+		spans.Add(c.Rank(), obs.PhaseWrite, writeDur)
 		wtimes := mpi.Reduce(c, 0, []float64{writeSec}, mpi.MaxF64)
 
 		if c.Rank() == 0 {
@@ -332,6 +351,12 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 			rep.Output = full
 		}
 	})
+	// The recorder outlives the world: reduce it once here, on the caller's
+	// goroutine, and feed the process-wide histograms so a scrape of
+	// /metrics sees every engine run's phase distribution.
+	rep.ExchangeTime = spans.Max(obs.PhaseExchange)
+	rep.Phases = spans.Report()
+	spans.ObserveInto(obs.Default())
 	if err != nil {
 		return rep, err
 	}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the -log-level flag grammar to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds the shared structured logger: level is debug|info|warn|
+// error, format is text|json. This is the one logger every CLI and the
+// daemon use, so operators get a single grammar for all of them.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// LogFlags registers the shared -log-level and -log-format flags on fs
+// (the process flag set when nil) and returns a constructor to call after
+// parsing; it reports flag-grammar errors rather than exiting.
+func LogFlags(fs *flag.FlagSet) func(w io.Writer) (*slog.Logger, error) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	level := fs.String("log-level", "info", "log level: debug | info | warn | error")
+	format := fs.String("log-format", "text", "log format: text | json")
+	return func(w io.Writer) (*slog.Logger, error) {
+		return NewLogger(w, *level, *format)
+	}
+}
+
+// nopHandler drops everything (slog.DiscardHandler arrives in go 1.24;
+// this repo pins 1.22).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// Nop returns a logger that discards every record — the nil-safe default
+// for components whose config left the logger unset.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+// OrNop returns l, or a discarding logger when l is nil.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Nop()
+	}
+	return l
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-106.5) > 1e-9 {
+		t.Fatalf("hist sum = %g, want 106.5", h.Sum())
+	}
+	// le semantics: 1 falls into the le="1" bucket.
+	cum := h.snapshot()
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 4 {
+		t.Fatalf("cumulative buckets = %v, want [2 3 4]", cum)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "other help", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c := r.Counter("x_total", "help", L("k", "w"))
+	if a == c {
+		t.Fatal("different labels must make a distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter family as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "wrong kind")
+}
+
+func TestFuncBackedSeries(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.GaugeFunc("live", "live value", func() float64 { return n })
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live 7\n") {
+		t.Fatalf("func gauge missing:\n%s", sb.String())
+	}
+	// Re-registration replaces the source (a restarted component takes
+	// over its series).
+	r.GaugeFunc("live", "live value", func() float64 { return 9 })
+	sb.Reset()
+	_ = r.WriteProm(&sb)
+	if !strings.Contains(sb.String(), "live 9\n") {
+		t.Fatalf("replaced func gauge not visible:\n%s", sb.String())
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// registration, updates, scrapes, and expvar snapshots all at once — and
+// then checks the totals. Run with -race, this is the concurrency contract.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 16
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers + 2)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers share series; half get their own.
+			label := L("w", []string{"a", "b"}[w%2])
+			for i := 0; i < perW; i++ {
+				r.Counter("hammer_total", "h", label).Inc()
+				r.Gauge("hammer_gauge", "h", label).Set(float64(i))
+				r.Histogram("hammer_seconds", "h", LatencyBuckets(), label).Observe(0.004)
+			}
+		}(w)
+	}
+	// Concurrent scrapers.
+	for s := 0; s < 2; s++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var sb strings.Builder
+				_ = r.WriteProm(&sb)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := r.Counter("hammer_total", "h", L("w", "a")).Value() +
+		r.Counter("hammer_total", "h", L("w", "b")).Value()
+	if want := int64(workers * perW); total != want {
+		t.Fatalf("lost increments: %d, want %d", total, want)
+	}
+	hcount := r.Histogram("hammer_seconds", "h", LatencyBuckets(), L("w", "a")).Count() +
+		r.Histogram("hammer_seconds", "h", LatencyBuckets(), L("w", "b")).Count()
+	if want := int64(workers * perW); hcount != want {
+		t.Fatalf("lost observations: %d, want %d", hcount, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

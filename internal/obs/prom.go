@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// sample is one series captured for exposition.
+type sample struct {
+	labels string
+	value  float64 // counters and gauges
+	hist   *Histogram
+}
+
+// famSnap is one family with its samples, ready to render.
+type famSnap struct {
+	family
+	samples []sample
+}
+
+// snapshotFamilies captures every family and series value under the read
+// lock. Func-backed series are evaluated here; their funcs read the owning
+// component's own synchronized counters and must not call back into the
+// registry.
+func (r *Registry) snapshotFamilies() []famSnap {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	byName := map[string]*famSnap{}
+	out := make([]famSnap, 0, len(r.families))
+	for name, f := range r.families {
+		out = append(out, famSnap{family: *f})
+		byName[name] = &out[len(out)-1]
+	}
+	for _, s := range r.series {
+		fs := byName[s.name]
+		sm := sample{labels: s.labels}
+		if fs.kind == kindHistogram {
+			sm.hist = s.hist
+		} else {
+			sm.value = s.value()
+		}
+		fs.samples = append(fs.samples, sm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for i := range out {
+		ss := out[i].samples
+		sort.Slice(ss, func(a, b int) bool { return ss[a].labels < ss[b].labels })
+	}
+	return out
+}
+
+// formatValue renders a sample the way Prometheus expects: integers bare,
+// floats with full precision.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// appendLabel merges an extra label (le=...) into a rendered label body.
+func appendLabel(body, extra string) string {
+	if body == "" {
+		return extra
+	}
+	return body + "," + extra
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Families are sorted by name and series by label body, so
+// the output is deterministic and golden-testable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, strings.ReplaceAll(f.help, "\n", " "), f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if err := writeSample(w, f.name, f.kind, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, fam string, k kind, s sample) error {
+	name := func(suffix, labels string) string {
+		if labels == "" {
+			return fam + suffix
+		}
+		return fam + suffix + "{" + labels + "}"
+	}
+	if k != kindHistogram {
+		_, err := fmt.Fprintf(w, "%s %s\n", name("", s.labels), formatValue(s.value))
+		return err
+	}
+	h := s.hist
+	if h == nil {
+		return nil
+	}
+	cum := h.snapshot()
+	for i, bound := range h.bounds {
+		le := fmt.Sprintf("le=%q", strconv.FormatFloat(bound, 'g', -1, 64))
+		if _, err := fmt.Fprintf(w, "%s %d\n", name("_bucket", appendLabel(s.labels, le)), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", name("_bucket", appendLabel(s.labels, `le="+Inf"`)), cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", name("_sum", s.labels), formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", name("_count", s.labels), h.Count())
+	return err
+}
+
+// Handler returns the /metrics HTTP handler serving the Prometheus text
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// Snapshot returns every series as a flat map — the expvar projection.
+// Histograms expand to count/sum plus cumulative bucket counts.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.samples {
+			key := seriesKey(f.name, s.labels)
+			if f.kind != kindHistogram {
+				out[key] = s.value
+				continue
+			}
+			if s.hist == nil {
+				continue
+			}
+			h := s.hist
+			cum := h.snapshot()
+			bk := map[string]int64{}
+			for i, bound := range h.bounds {
+				bk[strconv.FormatFloat(bound, 'g', -1, 64)] = cum[i]
+			}
+			bk["+Inf"] = cum[len(cum)-1]
+			out[key] = map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": bk}
+		}
+	}
+	return out
+}
+
+var expvarPublished sync.Map // published names; expvar.Publish panics on repeats
+
+// PublishExpvar exposes the registry under the given expvar name (default
+// "dassa_metrics" when empty), so the standard /debug/vars endpoint carries
+// the same numbers /metrics does. Safe to call more than once.
+func (r *Registry) PublishExpvar(name string) {
+	if name == "" {
+		name = "dassa_metrics"
+	}
+	if _, loaded := expvarPublished.LoadOrStore(name, true); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

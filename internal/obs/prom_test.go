@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the exact text exposition: family ordering, HELP/TYPE
+// lines, label rendering, histogram bucket/sum/count expansion. Prometheus
+// parses this byte format; drift here breaks every scraper.
+func TestPromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dassa_reads_total", "physical reads").Add(3)
+	r.Counter("dassa_requests_total", "http requests", L("route", "/read")).Add(2)
+	r.Counter("dassa_requests_total", "http requests", L("route", "/detect")).Inc()
+	r.Gauge("dassa_cache_bytes", "resident cache bytes").Set(1024)
+	h := r.Histogram("dassa_latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dassa_cache_bytes resident cache bytes
+# TYPE dassa_cache_bytes gauge
+dassa_cache_bytes 1024
+# HELP dassa_latency_seconds request latency
+# TYPE dassa_latency_seconds histogram
+dassa_latency_seconds_bucket{le="0.01"} 1
+dassa_latency_seconds_bucket{le="0.1"} 2
+dassa_latency_seconds_bucket{le="1"} 3
+dassa_latency_seconds_bucket{le="+Inf"} 4
+dassa_latency_seconds_sum 5.555
+dassa_latency_seconds_count 4
+# HELP dassa_reads_total physical reads
+# TYPE dassa_reads_total counter
+dassa_reads_total 3
+# HELP dassa_requests_total http requests
+# TYPE dassa_requests_total counter
+dassa_requests_total{route="/detect"} 1
+dassa_requests_total{route="/read"} 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition drift:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1\n") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "x", L("k", "v")).Add(2)
+	r.Histogram("h_seconds", "x", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap[`c_total{k="v"}`] != 2.0 {
+		t.Fatalf("snapshot counter: %+v", snap)
+	}
+	hv, ok := snap["h_seconds"].(map[string]any)
+	if !ok || hv["count"] != int64(1) {
+		t.Fatalf("snapshot histogram: %+v", snap)
+	}
+	// Publishing twice must not panic (expvar.Publish does on repeats).
+	r.PublishExpvar("obs_test_snapshot")
+	r.PublishExpvar("obs_test_snapshot")
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Phase is one stage of a parallel run — the decomposition the paper's
+// Figures 8–10 plot per rank: time spent reading blocks from storage,
+// exchanging data between ranks (all-to-all, broadcast, halo), computing
+// the UDF, and writing results.
+type Phase uint8
+
+const (
+	PhaseRead Phase = iota
+	PhaseExchange
+	PhaseCompute
+	PhaseWrite
+	// NumPhases sizes per-rank accumulators.
+	NumPhases = 4
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseRead:
+		return "read"
+	case PhaseExchange:
+		return "exchange"
+	case PhaseCompute:
+		return "compute"
+	case PhaseWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Phases lists every phase in report order.
+func Phases() []Phase {
+	return []Phase{PhaseRead, PhaseExchange, PhaseCompute, PhaseWrite}
+}
+
+// Spans accumulates per-rank phase durations for one parallel run. Each
+// rank adds to its own slot; slots are atomics so a late Report (or a
+// concurrent metrics scrape) never races rank goroutines.
+type Spans struct {
+	ns [][NumPhases]atomic.Int64
+}
+
+// NewSpans sizes a recorder for a world of the given rank count.
+func NewSpans(ranks int) *Spans {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return &Spans{ns: make([][NumPhases]atomic.Int64, ranks)}
+}
+
+// Ranks returns the world size the recorder was built for.
+func (s *Spans) Ranks() int { return len(s.ns) }
+
+// Add accumulates d into (rank, phase). Out-of-range ranks are dropped —
+// a recorder sized for one world must not panic if reused on a larger one.
+func (s *Spans) Add(rank int, p Phase, d time.Duration) {
+	if s == nil || rank < 0 || rank >= len(s.ns) || p >= NumPhases {
+		return
+	}
+	s.ns[rank][p].Add(int64(d))
+}
+
+// Get returns the accumulated duration of (rank, phase).
+func (s *Spans) Get(rank int, p Phase) time.Duration {
+	if s == nil || rank < 0 || rank >= len(s.ns) || p >= NumPhases {
+		return 0
+	}
+	return time.Duration(s.ns[rank][p].Load())
+}
+
+// Max returns the largest accumulated duration of the phase across ranks —
+// the per-phase wall time a bulk-synchronous run actually pays.
+func (s *Spans) Max(p Phase) time.Duration {
+	if s == nil {
+		return 0
+	}
+	var m int64
+	for r := range s.ns {
+		if v := s.ns[r][p].Load(); v > m {
+			m = v
+		}
+	}
+	return time.Duration(m)
+}
+
+// Span is one in-progress phase measurement on one rank.
+type Span struct {
+	s     *Spans
+	rank  int
+	phase Phase
+	t0    time.Time
+}
+
+// Start begins timing (rank, phase); call End to record.
+func (s *Spans) Start(rank int, p Phase) Span {
+	return Span{s: s, rank: rank, phase: p, t0: time.Now()}
+}
+
+// End records the elapsed time and returns it.
+func (sp Span) End() time.Duration {
+	d := time.Since(sp.t0)
+	sp.s.Add(sp.rank, sp.phase, d)
+	return d
+}
+
+// PhaseStat summarizes one phase across ranks.
+type PhaseStat struct {
+	// MaxMS is the slowest rank's time — the phase's wall-clock cost in a
+	// bulk-synchronous run.
+	MaxMS float64 `json:"max_ms"`
+	// MeanMS is the average across ranks; a Max≫Mean gap means imbalance.
+	MeanMS float64 `json:"mean_ms"`
+	// SumMS is total rank-time spent in the phase.
+	SumMS float64 `json:"sum_ms"`
+}
+
+// PhaseReport is the machine-readable per-run phase breakdown, keyed by
+// phase name ("read", "exchange", "compute", "write").
+type PhaseReport struct {
+	Ranks  int                  `json:"ranks"`
+	Phases map[string]PhaseStat `json:"phases"`
+}
+
+// Stat returns the named phase's stats (zero value when absent).
+func (r PhaseReport) Stat(p Phase) PhaseStat { return r.Phases[p.String()] }
+
+// TotalMaxMS sums the per-phase max times — the modeled bulk-synchronous
+// wall time of the run.
+func (r PhaseReport) TotalMaxMS() float64 {
+	var t float64
+	for _, st := range r.Phases {
+		t += st.MaxMS
+	}
+	return t
+}
+
+func (r PhaseReport) String() string {
+	var b strings.Builder
+	for i, p := range Phases() {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%s %.1fms", p, r.Stat(p).MaxMS)
+	}
+	fmt.Fprintf(&b, " (max across %d ranks)", r.Ranks)
+	return b.String()
+}
+
+// Report reduces the per-rank accumulators into a PhaseReport.
+func (s *Spans) Report() PhaseReport {
+	rep := PhaseReport{Phases: map[string]PhaseStat{}}
+	if s == nil {
+		return rep
+	}
+	rep.Ranks = len(s.ns)
+	for _, p := range Phases() {
+		var sum, maxNS int64
+		for r := range s.ns {
+			v := s.ns[r][p].Load()
+			sum += v
+			if v > maxNS {
+				maxNS = v
+			}
+		}
+		rep.Phases[p.String()] = PhaseStat{
+			MaxMS:  float64(maxNS) / 1e6,
+			MeanMS: float64(sum) / float64(len(s.ns)) / 1e6,
+			SumMS:  float64(sum) / 1e6,
+		}
+	}
+	return rep
+}
+
+// ObserveInto folds every rank's per-phase time into the registry's
+// dassa_phase_seconds histograms, one series per phase. Ranks that spent no
+// time in a phase are skipped so empty phases don't flood the zero bucket.
+func (s *Spans) ObserveInto(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	for _, p := range Phases() {
+		var h *Histogram
+		for r := range s.ns {
+			v := s.ns[r][p].Load()
+			if v == 0 {
+				continue
+			}
+			if h == nil {
+				h = reg.Histogram("dassa_phase_seconds",
+					"per-rank time spent in each run phase (read/exchange/compute/write)",
+					LatencyBuckets(), L("phase", p.String()))
+			}
+			h.Observe(time.Duration(v).Seconds())
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpansReport(t *testing.T) {
+	s := NewSpans(4)
+	for rank := 0; rank < 4; rank++ {
+		s.Add(rank, PhaseRead, time.Duration(rank+1)*10*time.Millisecond)
+		s.Add(rank, PhaseExchange, 5*time.Millisecond)
+	}
+	s.Add(3, PhaseCompute, 100*time.Millisecond)
+
+	if got := s.Max(PhaseRead); got != 40*time.Millisecond {
+		t.Fatalf("Max(read) = %v, want 40ms", got)
+	}
+	rep := s.Report()
+	if rep.Ranks != 4 {
+		t.Fatalf("ranks = %d", rep.Ranks)
+	}
+	rd := rep.Stat(PhaseRead)
+	if rd.MaxMS != 40 || rd.SumMS != 100 || rd.MeanMS != 25 {
+		t.Fatalf("read stat = %+v", rd)
+	}
+	if ex := rep.Stat(PhaseExchange); ex.MaxMS != 5 || ex.SumMS != 20 {
+		t.Fatalf("exchange stat = %+v", ex)
+	}
+	if cp := rep.Stat(PhaseCompute); cp.MaxMS != 100 || cp.SumMS != 100 {
+		t.Fatalf("compute stat = %+v", cp)
+	}
+	if got := rep.TotalMaxMS(); got != 40+5+100 {
+		t.Fatalf("TotalMaxMS = %g", got)
+	}
+	str := rep.String()
+	for _, phase := range []string{"read", "exchange", "compute", "write"} {
+		if !strings.Contains(str, phase) {
+			t.Fatalf("report string misses %q: %s", phase, str)
+		}
+	}
+}
+
+func TestSpanStartEnd(t *testing.T) {
+	s := NewSpans(2)
+	sp := s.Start(1, PhaseCompute)
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d <= 0 || s.Get(1, PhaseCompute) != d {
+		t.Fatalf("span recorded %v, got %v", d, s.Get(1, PhaseCompute))
+	}
+}
+
+// TestSpansNilAndBoundsSafe: nil recorders and out-of-range ranks are
+// dropped, not panics — views without observers call through nil.
+func TestSpansNilAndBoundsSafe(t *testing.T) {
+	var s *Spans
+	s.Add(0, PhaseRead, time.Second)
+	if s.Get(0, PhaseRead) != 0 || s.Max(PhaseRead) != 0 {
+		t.Fatal("nil spans must read as zero")
+	}
+	if rep := s.Report(); rep.Ranks != 0 {
+		t.Fatalf("nil report: %+v", rep)
+	}
+	s2 := NewSpans(2)
+	s2.Add(5, PhaseRead, time.Second) // out of range: dropped
+	if s2.Max(PhaseRead) != 0 {
+		t.Fatal("out-of-range rank must be dropped")
+	}
+}
+
+// TestSpansConcurrent hammers one recorder from many rank goroutines while
+// a reporter reads — the -race contract for the haee run loop.
+func TestSpansConcurrent(t *testing.T) {
+	s := NewSpans(8)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(rank, Phase(i%NumPhases), time.Microsecond)
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = s.Report()
+			_ = s.Max(PhaseCompute)
+		}
+	}()
+	wg.Wait()
+	<-done
+	rep := s.Report()
+	var sum float64
+	for _, p := range Phases() {
+		sum += rep.Stat(p).SumMS
+	}
+	if want := 8 * 1000 * 0.001; sum != want { // 8000 µs in ms
+		t.Fatalf("sum = %gms, want %gms", sum, want)
+	}
+}
+
+func TestObserveInto(t *testing.T) {
+	s := NewSpans(3)
+	s.Add(0, PhaseRead, 2*time.Millisecond)
+	s.Add(1, PhaseRead, 3*time.Millisecond)
+	// rank 2 idle; compute untouched entirely.
+	r := NewRegistry()
+	s.ObserveInto(r)
+	h := r.Histogram("dassa_phase_seconds", "", LatencyBuckets(), L("phase", "read"))
+	if h.Count() != 2 {
+		t.Fatalf("read observations = %d, want 2", h.Count())
+	}
+	var sb strings.Builder
+	_ = r.WriteProm(&sb)
+	if strings.Contains(sb.String(), `phase="compute"`) {
+		t.Fatalf("idle phase must not create a series:\n%s", sb.String())
+	}
+}
+
+func TestLoggerGrammar(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, `"msg":"kept"`) {
+		t.Fatalf("level/format wrong: %s", out)
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level must error")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format must error")
+	}
+	// Nop swallows everything without touching a writer.
+	OrNop(nil).Error("into the void")
+	if lv, _ := ParseLevel("ERROR"); lv != slog.LevelError {
+		t.Fatal("ParseLevel must be case-insensitive")
+	}
+}

@@ -2,13 +2,14 @@ package serve
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"dassa/internal/dass"
+	"dassa/internal/obs"
 )
 
 // IngestConfig sizes the polling ingester.
@@ -26,8 +27,8 @@ type IngestConfig struct {
 	// Dir/<LiveVCAName>, so offline tools see the same merged view the
 	// daemon serves.
 	LiveVCA bool
-	// Log receives ingest events; nil silences them.
-	Log *log.Logger
+	// Log receives structured ingest events; nil silences them.
+	Log *slog.Logger
 }
 
 // LiveVCAName is the rolling VCA the ingester maintains inside the watched
@@ -66,6 +67,7 @@ type fileStamp struct {
 type Ingester struct {
 	cfg   IngestConfig
 	cache *BlockCache
+	log   *slog.Logger
 
 	mu      sync.RWMutex
 	cat     *dass.Catalog
@@ -85,15 +87,10 @@ func NewIngester(cfg IngestConfig, cache *BlockCache) *Ingester {
 	return &Ingester{
 		cfg:     cfg,
 		cache:   cache,
+		log:     obs.OrNop(cfg.Log),
 		cat:     dass.CatalogOf(nil),
 		known:   map[string]fileStamp{},
 		vcaSeen: map[string]bool{},
-	}
-}
-
-func (ing *Ingester) logf(format string, args ...any) {
-	if ing.cfg.Log != nil {
-		ing.cfg.Log.Printf(format, args...)
 	}
 }
 
@@ -103,7 +100,7 @@ func (ing *Ingester) Run(ctx context.Context) {
 	defer t.Stop()
 	for {
 		if err := ing.ScanOnce(); err != nil {
-			ing.logf("ingest: scan failed: %v", err)
+			ing.log.Error("ingest scan failed", "err", err)
 		}
 		select {
 		case <-ctx.Done():
@@ -188,8 +185,9 @@ func (ing *Ingester) ScanOnce() error {
 		ing.extendLiveVCALocked(entries)
 	}
 	if newest >= 0 {
-		ing.logf("ingest: %d files (+%d new, %d bad), newest %012d, lag %dms",
-			len(entries), ing.stats.FilesIngested, len(bad), newest, lag)
+		ing.log.Info("ingest scan",
+			"files", len(entries), "ingested", ing.stats.FilesIngested,
+			"bad", len(bad), "newest", newest, "lag_ms", lag)
 	}
 	return nil
 }
@@ -217,7 +215,7 @@ func (ing *Ingester) extendLiveVCALocked(entries []dass.Entry) {
 	}
 	if err != nil {
 		ing.stats.VCAErrors++
-		ing.logf("ingest: live VCA: %v", err)
+		ing.log.Warn("live VCA append failed", "err", err)
 		return
 	}
 	ing.stats.VCAAppends++

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"dassa/internal/dass"
+	"dassa/internal/obs"
+	"dassa/internal/pfs"
+)
+
+// QualityStats aggregates data-loss accounting over the daemon's life:
+// how many reads came back degraded, what they masked, and what the retry
+// layer spent keeping the rest clean. Surfaced in /status ("quality") and
+// as dassa_degraded_* counters on /metrics.
+type QualityStats struct {
+	DegradedReads int64 `json:"degraded_reads"` // reads that returned ≥1 gap
+	Gaps          int64 `json:"gaps"`           // NaN-masked rectangles served
+	MaskedSamples int64 `json:"masked_samples"` // cells masked with NaN
+	LostFiles     int64 `json:"lost_files"`     // member files that stayed bad
+	Retries       int64 `json:"retries"`        // storage retries spent
+}
+
+// qualityCounters is the atomic store behind QualityStats.
+type qualityCounters struct {
+	degraded, gaps, masked, lost, retries atomic.Int64
+}
+
+func (q *qualityCounters) stats() QualityStats {
+	return QualityStats{
+		DegradedReads: q.degraded.Load(),
+		Gaps:          q.gaps.Load(),
+		MaskedSamples: q.masked.Load(),
+		LostFiles:     q.lost.Load(),
+		Retries:       q.retries.Load(),
+	}
+}
+
+// recordRead folds one /read result (trace + raw gap list) in.
+func (q *qualityCounters) recordRead(tr pfs.Trace, gaps []dass.Gap) {
+	q.retries.Add(tr.Retries)
+	if len(gaps) == 0 {
+		return
+	}
+	q.degraded.Add(1)
+	q.gaps.Add(int64(len(gaps)))
+	q.masked.Add(tr.MaskedSamples)
+	files := map[string]bool{}
+	for _, g := range gaps {
+		files[g.File] = true
+	}
+	q.lost.Add(int64(len(files)))
+}
+
+// recordReport folds one engine run's QualityReport in (nil = clean).
+func (q *qualityCounters) recordReport(rep *dass.QualityReport) {
+	if rep == nil {
+		return
+	}
+	q.retries.Add(rep.Retries)
+	if !rep.Degraded() {
+		return
+	}
+	q.degraded.Add(1)
+	q.gaps.Add(int64(len(rep.Gaps)))
+	q.masked.Add(rep.LostSamples)
+	q.lost.Add(int64(len(rep.LostFiles)))
+}
+
+// registerMetrics wires the server's components into its registry. The
+// cache, ingester, and admission gate already keep their own atomics, so
+// they are exposed func-backed — a scrape reads the live values; nothing
+// is double-counted. Registration is idempotent and re-registration
+// rebinds the funcs, so repeated NewServer calls (tests) are safe.
+func (s *Server) registerMetrics() {
+	reg := s.reg
+
+	s.httpReqs = map[string]*obs.Counter{}
+	s.httpLat = map[string]*obs.Histogram{}
+	for _, rt := range []string{"/search", "/read", "/detect", "/status"} {
+		s.httpReqs[rt] = reg.Counter("dassa_http_requests_total",
+			"HTTP requests served, by route", obs.L("route", rt))
+		s.httpLat[rt] = reg.Histogram("dassa_http_request_seconds",
+			"HTTP request latency in seconds, by route", obs.LatencyBuckets(), obs.L("route", rt))
+	}
+
+	// Admission gate: sheds are the 429s the bounded queue hands out.
+	reg.CounterFunc("dassa_http_sheds_total",
+		"requests shed with 429 by admission control",
+		func() float64 { return float64(s.adm.rejected.Load()) })
+	reg.CounterFunc("dassa_http_admitted_total",
+		"requests admitted past the gate",
+		func() float64 { return float64(s.adm.admitted.Load()) })
+	reg.GaugeFunc("dassa_http_inflight",
+		"admitted queries executing right now",
+		func() float64 { return float64(s.adm.inFlight.Load()) })
+	reg.GaugeFunc("dassa_http_queue_depth",
+		"queries waiting for an execution slot",
+		func() float64 { return float64(len(s.adm.queue)) })
+
+	// Block cache.
+	reg.CounterFunc("dassa_cache_hits_total", "block cache hits",
+		func() float64 { return float64(s.cache.hits.Load()) })
+	reg.CounterFunc("dassa_cache_misses_total", "block cache misses (loader runs)",
+		func() float64 { return float64(s.cache.misses.Load()) })
+	reg.CounterFunc("dassa_cache_coalesced_total",
+		"waiters that piggybacked on an in-flight load",
+		func() float64 { return float64(s.cache.coalesced.Load()) })
+	reg.CounterFunc("dassa_cache_evictions_total", "blocks evicted by the LRU",
+		func() float64 { return float64(s.cache.evictions.Load()) })
+	reg.GaugeFunc("dassa_cache_bytes", "resident cached block bytes",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	reg.GaugeFunc("dassa_cache_entries", "blocks resident in the cache",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+
+	// Ingest loop.
+	reg.CounterFunc("dassa_ingest_scans_total", "ingest poll cycles completed",
+		func() float64 { return float64(s.ing.Stats().Scans) })
+	reg.CounterFunc("dassa_ingest_files_total",
+		"new files ingested over the daemon's life",
+		func() float64 { return float64(s.ing.Stats().FilesIngested) })
+	reg.GaugeFunc("dassa_ingest_lag_seconds",
+		"newest ingested file's mtime-to-catalog latency (-0.001 until first ingest)",
+		func() float64 { return float64(s.ing.Stats().LagMS) / 1000 })
+	reg.GaugeFunc("dassa_catalog_files", "files in the served catalog",
+		func() float64 { return float64(s.ing.Stats().FilesTotal) })
+
+	// Degraded-read quality accounting.
+	reg.CounterFunc("dassa_degraded_reads_total",
+		"reads served with at least one NaN-masked gap",
+		func() float64 { return float64(s.quality.degraded.Load()) })
+	reg.CounterFunc("dassa_read_gaps_total", "NaN-masked gap rectangles served",
+		func() float64 { return float64(s.quality.gaps.Load()) })
+	reg.CounterFunc("dassa_masked_samples_total", "samples masked with NaN",
+		func() float64 { return float64(s.quality.masked.Load()) })
+	reg.CounterFunc("dassa_lost_files_total",
+		"member files that stayed bad after retries",
+		func() float64 { return float64(s.quality.lost.Load()) })
+	reg.CounterFunc("dassa_read_retries_total",
+		"storage retries spent by request reads",
+		func() float64 { return float64(s.quality.retries.Load()) })
+}
+
+// statusWriter captures the status code a handler writes, for metrics and
+// the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with latency/count metrics and one
+// structured access-log line per request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	ctr := s.httpReqs[route]
+	lat := s.httpLat[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		d := time.Since(t0)
+		ctr.Inc()
+		lat.Observe(d.Seconds())
+		shed := sw.code == http.StatusTooManyRequests
+		s.log.Info("request",
+			"route", route, "status", sw.code, "dur_ms", d.Milliseconds(), "shed", shed)
+	}
+}
+
+// mountPprof exposes net/http/pprof on the mux (opt-in via
+// Config.EnablePprof — profiling endpoints leak internals, so the default
+// daemon serves none of them).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

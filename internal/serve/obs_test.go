@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dassa/internal/obs"
+)
+
+// scrape fetches /metrics and returns the Prometheus text body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") ||
+		!strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// sampleValue finds the value of one exposition line by its full series name
+// (including the label set), e.g. `dassa_http_requests_total{route="/read"}`.
+func sampleValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not in exposition:\n%s", series, body)
+	return 0
+}
+
+// TestMetricsEndpoint asserts the scrape contract the satellites promise:
+// /metrics serves valid Prometheus text including cache hit/miss counters,
+// ingest lag, per-route latency histograms, and the degraded-read quality
+// counters — and the request/cache counters move after traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	for _, p := range stageFiles(t, 3) {
+		arrive(t, dir, p)
+	}
+	reg := obs.NewRegistry()
+	s := NewServer(Config{
+		Ingest:       IngestConfig{Dir: dir, Poll: 50 * time.Millisecond, LiveVCA: true},
+		Nodes:        1,
+		CoresPerNode: 2,
+		Registry:     reg,
+	})
+	if err := s.Ingester().ScanOnce(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := scrape(t, ts)
+	for _, want := range []string{
+		"# TYPE dassa_http_requests_total counter",
+		"# TYPE dassa_http_request_seconds histogram",
+		"# TYPE dassa_cache_hits_total counter",
+		"# TYPE dassa_cache_misses_total counter",
+		"# TYPE dassa_ingest_lag_seconds gauge",
+		"# TYPE dassa_degraded_reads_total counter",
+		"# TYPE dassa_read_retries_total counter",
+		"# HELP dassa_http_sheds_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	if v := sampleValue(t, body, "dassa_catalog_files"); v != 3 {
+		t.Errorf("dassa_catalog_files = %v, want 3", v)
+	}
+	if v := sampleValue(t, body, `dassa_http_requests_total{route="/read"}`); v != 0 {
+		t.Errorf("pre-traffic /read counter = %v, want 0", v)
+	}
+
+	// Traffic: the same window twice → 2 requests, ≥1 cache hit.
+	for i := 0; i < 2; i++ {
+		if resp := getJSON(t, ts, "/read?ch0=0&ch1=4&t0=0&t1=50&data=0", nil); resp.StatusCode != 200 {
+			t.Fatalf("/read status %d", resp.StatusCode)
+		}
+	}
+	body = scrape(t, ts)
+	if v := sampleValue(t, body, `dassa_http_requests_total{route="/read"}`); v != 2 {
+		t.Errorf("post-traffic /read counter = %v, want 2", v)
+	}
+	if v := sampleValue(t, body, `dassa_http_request_seconds_count{route="/read"}`); v != 2 {
+		t.Errorf("latency histogram count = %v, want 2", v)
+	}
+	if !strings.Contains(body, `dassa_http_request_seconds_bucket{route="/read",le="+Inf"}`) {
+		t.Error("latency histogram lacks the +Inf bucket")
+	}
+	if v := sampleValue(t, body, "dassa_cache_hits_total"); v == 0 {
+		t.Error("repeated read produced no cache hit")
+	}
+	if v := sampleValue(t, body, "dassa_cache_misses_total"); v == 0 {
+		t.Error("first read produced no cache miss")
+	}
+
+	// /status carries the quality block (clean run: all zeros).
+	var status struct {
+		Quality *QualityStats `json:"quality"`
+	}
+	getJSON(t, ts, "/status", &status)
+	if status.Quality == nil {
+		t.Fatal("/status lacks the quality block")
+	}
+	if status.Quality.DegradedReads != 0 || status.Quality.LostFiles != 0 {
+		t.Fatalf("clean run reported degradation: %+v", *status.Quality)
+	}
+}
+
+// TestPprofOptIn asserts profiling endpoints exist only when enabled.
+func TestPprofOptIn(t *testing.T) {
+	dir := t.TempDir()
+	on := NewServer(Config{Ingest: IngestConfig{Dir: dir}, EnablePprof: true})
+	off := NewServer(Config{Ingest: IngestConfig{Dir: dir}})
+
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+
+	if resp := getJSON(t, tsOn, "/debug/pprof/cmdline", nil); resp.StatusCode != 200 {
+		t.Fatalf("pprof enabled: status %d, want 200", resp.StatusCode)
+	}
+	if resp := getJSON(t, tsOff, "/debug/pprof/cmdline", nil); resp.StatusCode != 404 {
+		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -3,7 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -14,6 +14,7 @@ import (
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/detect"
+	"dassa/internal/obs"
 )
 
 // Config sizes the daemon.
@@ -36,8 +37,15 @@ type Config struct {
 	// Nodes/CoresPerNode size the in-process HAEE engine (defaults 1/4).
 	Nodes        int
 	CoresPerNode int
-	// Log receives server events; nil silences them.
-	Log *log.Logger
+	// Log receives structured server events (access logs included); nil
+	// silences them.
+	Log *slog.Logger
+	// Registry receives the daemon's metrics; nil uses obs.Default(), so
+	// storage-layer counters and server counters land on one /metrics page.
+	Registry *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// daemon's mux. Off by default: profiling endpoints expose internals.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +151,12 @@ type Server struct {
 	jobs     chan struct{}
 	jobsDone atomic.Int64
 	start    time.Time
+
+	log      *slog.Logger
+	reg      *obs.Registry
+	quality  qualityCounters
+	httpReqs map[string]*obs.Counter
+	httpLat  map[string]*obs.Histogram
 }
 
 // NewServer wires the daemon together. Call s.Ingester().Run (or ScanOnce)
@@ -150,7 +164,11 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	cache := NewBlockCache(cfg.CacheBytes)
-	return &Server{
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Server{
 		cfg:   cfg,
 		ing:   NewIngester(cfg.Ingest, cache),
 		cache: cache,
@@ -162,7 +180,11 @@ func NewServer(cfg Config) *Server {
 		adm:   newAdmission(cfg),
 		jobs:  make(chan struct{}, cfg.DetectJobs),
 		start: time.Now(),
+		log:   obs.OrNop(cfg.Log),
+		reg:   reg,
 	}
+	s.registerMetrics()
+	return s
 }
 
 // Ingester exposes the daemon's ingest loop.
@@ -174,12 +196,17 @@ func (s *Server) Cache() *BlockCache { return s.cache }
 // Handler returns the daemon's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.admit(s.handleSearch))
-	mux.HandleFunc("/read", s.admit(s.handleRead))
-	mux.HandleFunc("/detect", s.admit(s.handleDetect))
-	// /status stays outside admission control: it is the endpoint you use
-	// to observe overload, so it must answer during overload.
-	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/search", s.instrument("/search", s.admit(s.handleSearch)))
+	mux.HandleFunc("/read", s.instrument("/read", s.admit(s.handleRead)))
+	mux.HandleFunc("/detect", s.instrument("/detect", s.admit(s.handleDetect)))
+	// /status and /metrics stay outside admission control: they are the
+	// endpoints you use to observe overload, so they must answer during
+	// overload.
+	mux.HandleFunc("/status", s.instrument("/status", s.handleStatus))
+	mux.Handle("/metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		mountPprof(mux)
+	}
 	return mux
 }
 
@@ -371,6 +398,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
 		return
 	}
+	s.quality.recordRead(tr, gaps)
 	resp := map[string]any{
 		"num_channels": arr.Channels,
 		"num_samples":  arr.Samples,
@@ -486,6 +514,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobsDone.Add(1)
+	s.quality.recordReport(rep.Quality)
 
 	events := make([]regionJSON, len(regions))
 	for i, reg := range regions {
@@ -534,6 +563,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"ingest":    s.ing.Stats(),
 		"cache":     s.cache.Stats(),
 		"admission": s.adm.stats(),
+		"quality":   s.quality.stats(),
 		"jobs": map[string]any{
 			"active": len(s.jobs), "max": cap(s.jobs), "done": s.jobsDone.Load(),
 		},

@@ -1,0 +1,43 @@
+# Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
+# Everything here is plain go-tool invocations; nothing needs the network
+# except the pinned static-analysis installs in `make lint-extra`.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race lint lint-extra fuzz bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Project-invariant analyzers (cmd/dassalint) + their self-tests.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dassalint ./...
+	$(GO) test ./internal/lint/... -count=1
+
+# Third-party analyzers, pinned to match CI (needs module downloads).
+lint-extra:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@2024.1.1
+	staticcheck ./...
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@v1.1.3
+	govulncheck ./...
+
+# The three parser fuzz targets, FUZZTIME each (CI runs 30s smokes).
+# -fuzzminimizetime is capped: minimizing multi-KB interesting inputs
+# would otherwise consume the whole budget.
+fuzz:
+	$(GO) test ./internal/dasf -run='^$$' -fuzz='^FuzzOpenCorruptIndex$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
+	$(GO) test ./internal/dasf -run='^$$' -fuzz='^FuzzOpenChunkedDeflate$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
+	$(GO) test ./internal/dasf -run='^$$' -fuzz='^FuzzOpenAppendedVCA$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

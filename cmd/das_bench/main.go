@@ -60,6 +60,7 @@ func main() {
 		// JSON mode: when the document goes to stdout, the text tables
 		// must not — they would corrupt the stream.
 		var out io.Writer = os.Stdout
+		closeOut := func() error { return nil }
 		if *jsonPath == "-" {
 			o.Out = io.Discard
 		} else {
@@ -67,7 +68,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
+			// Close is checked after the write: a deferred unchecked Close
+			// would drop the one error that says the report never landed.
+			closeOut = f.Close
 			out = f
 		}
 		rep, err := bench.RunJSON(o, *exp)
@@ -75,6 +78,9 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := rep.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := closeOut(); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,90 @@
+package dasf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzChunkedFile writes one valid chunked-deflate file and returns its
+// raw bytes plus the offset where the chunk index begins. The fuzz
+// targets splice mutated bytes into (or around) that structure and
+// assert the reader survives: error out, never panic, never read out of
+// bounds.
+func fuzzChunkedFile(f *testing.F) (orig []byte, indexOff int) {
+	f.Helper()
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.dasf")
+	if err := WriteDataCompressed(path, testMeta(), nil, smoothArray(4, 60), Float64); err != nil {
+		f.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	indexOff = int(r.Info().DataOffset)
+	r.Close()
+	orig, err = os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return orig, indexOff
+}
+
+// exerciseReader drives every read path that trusts on-disk structure.
+// Errors are expected on corrupt input; panics and out-of-range reads are
+// the bugs being fuzzed for.
+func exerciseReader(path string) {
+	r, err := Open(path)
+	if err != nil {
+		return
+	}
+	defer r.Close()
+	info := r.Info()
+	if info.Kind == KindData {
+		r.ReadAll()
+		r.ReadSlab(0, min(info.NumChannels, 2), 0, min(info.NumSamples, 5))
+		r.PerChannelMeta()
+	}
+}
+
+// FuzzOpenCorruptIndex targets the chunk index specifically: the fuzzer
+// controls the index bytes (chunk offsets and lengths), which the reader
+// must bounds-check against the physical file before every ReadAt.
+func FuzzOpenCorruptIndex(f *testing.F) {
+	orig, indexOff := fuzzChunkedFile(f)
+	idxLen := len(orig) - indexOff
+	if idxLen > 4*chunkRefSize {
+		idxLen = 4 * chunkRefSize
+	}
+	f.Add(append([]byte(nil), orig[indexOff:indexOff+idxLen]...))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, idx []byte) {
+		mut := append([]byte(nil), orig...)
+		copy(mut[indexOff:], idx) // clipped splice over the index region
+		p := filepath.Join(t.TempDir(), "f.dasf")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		exerciseReader(p)
+	})
+}
+
+// FuzzOpenChunkedDeflate hands the whole chunked file to the fuzzer:
+// header, meta block, chunk index, and deflate streams all mutate freely.
+func FuzzOpenChunkedDeflate(f *testing.F) {
+	orig, _ := fuzzChunkedFile(f)
+	f.Add(append([]byte(nil), orig...))
+	f.Add(append([]byte(nil), orig[:len(orig)/2]...)) // truncation seed
+	f.Add([]byte("DASF"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "f.dasf")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		exerciseReader(p)
+	})
+}

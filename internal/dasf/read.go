@@ -216,6 +216,14 @@ func (r *Reader) parseInfo(path string) error {
 	if nch <= 0 || nt <= 0 {
 		return corruptf("dasf: %s: invalid shape %d×%d", path, nch, nt)
 	}
+	// A corrupt shape must not drive allocation: nch*nt can overflow int
+	// (both fields are uint32 on disk) and NewArray2D allocates the
+	// product. 2^31 elements (16 GiB of float64) is far beyond any real
+	// DAS record; division avoids the overflow the check exists to stop.
+	const maxArrayElements = 1 << 31
+	if int64(nt) > maxArrayElements/int64(nch) {
+		return corruptf("dasf: %s: declared array %d×%d exceeds element cap", path, nch, nt)
+	}
 
 	r.info = Info{Path: path, Kind: kind, Global: global, NumChannels: nch, NumSamples: nt, DType: dtype}
 
@@ -252,6 +260,15 @@ func (r *Reader) parseInfo(path string) error {
 		}
 		if st.Size() < want {
 			return corruptf("dasf: %s: file is %d bytes, array needs %d", path, st.Size(), want)
+		}
+		// For chunked files the row length is only checked when a chunk
+		// inflates, after the row buffer is allocated — so bound it first:
+		// deflate cannot expand beyond ~1032×, so a row longer than the
+		// whole file could inflate to is unsatisfiable.
+		const maxDeflateRatio = 1032
+		if layout == ChunkedDeflate && int64(nt)*int64(dtype.Size()) > st.Size()*maxDeflateRatio {
+			return corruptf("dasf: %s: chunked row of %d samples cannot inflate from a %d-byte file",
+				path, nt, st.Size())
 		}
 	case KindVCA:
 		if err := need(pos+4, "member count"); err != nil {
@@ -425,12 +442,16 @@ func (r *Reader) ReadAll() (*Array2D, error) {
 	return r.ReadSlab(0, r.info.NumChannels, 0, r.info.NumSamples)
 }
 
-// loadChunkIndex reads and caches the chunk index of a chunked file.
+// loadChunkIndex reads and caches the chunk index of a chunked file. The
+// read happens outside chunkMu (lockio: no I/O under a mutex): racing
+// loaders read identical bytes and the first store wins, so the only cost
+// of the race is one duplicate index read.
 func (r *Reader) loadChunkIndex() ([]chunkRef, error) {
 	r.chunkMu.Lock()
-	defer r.chunkMu.Unlock()
-	if r.chunks != nil {
-		return r.chunks, nil
+	cached := r.chunks
+	r.chunkMu.Unlock()
+	if cached != nil {
+		return cached, nil
 	}
 	nch := r.info.NumChannels
 	buf := make([]byte, nch*chunkRefSize)
@@ -452,7 +473,13 @@ func (r *Reader) loadChunkIndex() ([]chunkRef, error) {
 		}
 		chunks[c] = chunkRef{off: off, clen: clen}
 	}
-	r.chunks = chunks
+	r.chunkMu.Lock()
+	if r.chunks == nil {
+		r.chunks = chunks
+	} else {
+		chunks = r.chunks
+	}
+	r.chunkMu.Unlock()
 	return chunks, nil
 }
 

@@ -1,0 +1,67 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface DASSA's custom analyzers need.
+// The container this repo grows in has no module proxy access, so vendoring
+// x/tools is not an option; the subset here (Analyzer, Pass, Diagnostic)
+// keeps the analyzers source-compatible with the upstream API shape, so
+// they can be ported onto the real framework — and run under
+// `go vet -vettool` — the day the dependency becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, what it enforces, and the
+// function that runs it over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dassalint:ignore comments. Lowercase, no spaces.
+	Name string
+	// Doc is the invariant the analyzer encodes, first line = summary.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the analysis of a single package: its syntax, its type
+// information, and the sink diagnostics go to. A Pass is created per
+// (analyzer, package) pair; analyzers must not retain it.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// Inspect walks every file of the pass in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,119 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// the x/tools harness of the same name: every want must be matched by a
+// diagnostic on its line, and every diagnostic must be claimed by a want.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dassa/internal/lint/analysis"
+	"dassa/internal/lint/loader"
+)
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var strRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the package rooted at dir, applies a, and reports mismatches
+// between diagnostics and want comments as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range strRE.FindAllString(m[1], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else if p, err := strconv.Unquote(q); err == nil {
+						pat = p
+					} else {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches the message.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != pos.Line || !sameFile(w.file, pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(a, b string) bool {
+	return a == b || strings.HasSuffix(a, b) || strings.HasSuffix(b, a)
+}
+
+// Testdata returns the conventional testdata source dir for a package:
+// testdata/src/<name> under the analyzer package's own directory.
+func Testdata(name string) string {
+	return fmt.Sprintf("testdata/src/%s", name)
+}

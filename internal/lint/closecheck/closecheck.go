@@ -1,0 +1,220 @@
+// Package closecheck flags discarded Close/Flush errors on writable
+// handles. For a file being written, Close is the last chance to learn
+// that buffered bytes never reached disk — `defer f.Close()` on a file
+// opened for writing silently swallows exactly that error. Read-only
+// handles are exempt: their Close error carries no data-loss signal.
+//
+// An unchecked Close immediately followed by a return or panic is
+// allowed: that is the conventional "give up, another error is already on
+// its way out" cleanup (dasf's write paths use it throughout).
+package closecheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"dassa/internal/lint/analysis"
+	"dassa/internal/lint/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "Close/Flush errors on writable handles must be checked; " +
+		"cleanup-before-error-return is exempt",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, u := range astutil.Units(f) {
+			checkUnit(pass, u)
+		}
+	}
+	return nil
+}
+
+func checkUnit(pass *analysis.Pass, u astutil.FuncUnit) {
+	writableFiles := collectWritableFiles(pass, u)
+
+	var walk func(stmts []ast.Stmt)
+	visit := func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			walk(x.List)
+		case *ast.CaseClause:
+			walk(x.Body)
+		case *ast.CommClause:
+			walk(x.Body)
+		}
+	}
+	walk = func(stmts []ast.Stmt) {
+		for i, st := range stmts {
+			switch x := st.(type) {
+			case *ast.DeferStmt:
+				if desc, ok := closeOnWritable(pass, x.Call, writableFiles); ok {
+					pass.Reportf(x.Pos(),
+						"closecheck: deferred %s discards its error — the last write failure "+
+							"a writable handle can report; close explicitly and check, or "+
+							"defer a closure that records the error", desc)
+				}
+				continue // don't descend: the defer itself was the finding
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					if desc, ok := closeOnWritable(pass, call, writableFiles); ok {
+						if !followedByExit(stmts, i) {
+							pass.Reportf(x.Pos(),
+								"closecheck: %s error discarded; check it (or `_ = ...` if the "+
+									"loss is intended) — cleanup directly before a return/panic is exempt", desc)
+						}
+						continue
+					}
+				}
+			}
+			// Recurse into nested blocks (if/for/switch bodies, etc.).
+			ast.Inspect(st, func(n ast.Node) bool {
+				if n == st {
+					return true
+				}
+				switch n.(type) {
+				case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+					visit(n)
+					return false
+				case *ast.FuncLit:
+					return false // separate unit
+				}
+				return true
+			})
+		}
+	}
+	walk(u.Body.List)
+}
+
+// followedByExit reports whether the statement after index i leaves the
+// function (return or panic) — the blessed cleanup-then-bail shape.
+func followedByExit(stmts []ast.Stmt, i int) bool {
+	if i+1 >= len(stmts) {
+		return false
+	}
+	switch stmts[i+1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	}
+	return astutil.IsPanicCall(stmts[i+1])
+}
+
+// closeOnWritable matches h.Close() / h.Flush() where h is a writable
+// handle, returning a description of the call.
+func closeOnWritable(pass *analysis.Pass, call *ast.CallExpr, writableFiles map[types.Object]bool) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Flush" && name != "Sync" {
+		return "", false
+	}
+	fn := astutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return "", false
+	}
+	recv := astutil.RecvNamed(fn)
+	if recv == nil {
+		return "", false
+	}
+	tn := recv.Obj()
+	pkgPath := ""
+	if tn.Pkg() != nil {
+		pkgPath = tn.Pkg().Path()
+	}
+	desc := tn.Name() + "." + name
+
+	switch {
+	case pkgPath == "os" && tn.Name() == "File":
+		// Only files this function demonstrably opened for writing.
+		root, _, _ := astutil.Chain(sel.X)
+		if root == nil || !writableFiles[pass.ObjectOf(root)] {
+			return "", false
+		}
+		return "os.File." + name, true
+	case pkgPath == "bufio" && tn.Name() == "Writer":
+		return desc, true
+	case (pkgPath == "compress/flate" || pkgPath == "compress/gzip" || pkgPath == "compress/zlib") && tn.Name() == "Writer":
+		return desc, true
+	default:
+		// Module-defined writer types: anything with a Write-ish method or
+		// "Writer" in its name whose Close/Flush returns an error.
+		if strings.Contains(tn.Name(), "Writer") || hasWriteMethod(recv) {
+			return desc, true
+		}
+	}
+	return "", false
+}
+
+// hasWriteMethod reports whether the type (or its pointer) has an
+// exported method starting with Write.
+func hasWriteMethod(n *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(n))
+	for i := 0; i < ms.Len(); i++ {
+		if strings.HasPrefix(ms.At(i).Obj().Name(), "Write") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectWritableFiles finds identifiers assigned from os.Create,
+// os.CreateTemp, or a writable os.OpenFile in this unit.
+func collectWritableFiles(pass *analysis.Pass, u astutil.FuncUnit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	astutil.WalkUnit(u.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astutil.Callee(pass.TypesInfo, call)
+		if fn == nil || astutil.PkgPath(fn) != "os" {
+			return true
+		}
+		switch fn.Name() {
+		case "Create", "CreateTemp":
+		case "OpenFile":
+			if len(call.Args) >= 2 && !openFlagsWritable(pass, call.Args[1]) {
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// openFlagsWritable decides whether an os.OpenFile flag argument opens
+// for writing; non-constant flags are conservatively treated as writable.
+func openFlagsWritable(pass *analysis.Pass, flagArg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[flagArg]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	const wrOrRdwr = 1 | 2 // os.O_WRONLY | os.O_RDWR
+	return v&wrOrRdwr != 0
+}

@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"dassa/internal/lint/analysistest"
+	"dassa/internal/lint/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.Run(t, closecheck.Analyzer, analysistest.Testdata("a"))
+}

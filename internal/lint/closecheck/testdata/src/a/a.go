@@ -1,0 +1,101 @@
+package a
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// chunkWriter stands in for the module's writer types: it has a Write
+// method and an error-returning Close.
+type chunkWriter struct{}
+
+func (w *chunkWriter) WriteRows(p []byte) (int, error) { return len(p), nil }
+func (w *chunkWriter) Close() error                    { return nil }
+
+// Bad: deferring Close on a file opened for writing swallows the flush
+// error.
+func badDeferCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `closecheck: deferred os.File.Close discards its error`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// Bad: a bare Flush statement mid-function drops the error.
+func badBareFlush(w *bufio.Writer, n *int) error {
+	if _, err := w.WriteString("x"); err != nil {
+		return err
+	}
+	w.Flush() // want `closecheck: Writer.Flush error discarded`
+	*n++
+	return nil
+}
+
+// Bad: trailing unchecked Close (nothing after it, so not cleanup-
+// before-exit).
+func badTrailingClose(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write([]byte("x"))
+	f.Close() // want `closecheck: os.File.Close error discarded`
+}
+
+// Bad: module writer types count too.
+func badModuleWriter(w *chunkWriter) {
+	_, _ = w.WriteRows(nil)
+	w.Close() // want `closecheck: chunkWriter.Close error discarded`
+}
+
+// Clean: the error is returned to the caller.
+func goodChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Clean: cleanup directly before an error return is the conventional
+// "another error is already on its way out" shape.
+func goodCleanupBeforeReturn(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Clean: read-only handles carry no data-loss signal in Close.
+func goodReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// Clean: an explicit discard states the loss is intended.
+func goodExplicitDiscard(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write([]byte("x"))
+	_ = f.Close()
+}

@@ -1,0 +1,12 @@
+package cowopt_test
+
+import (
+	"testing"
+
+	"dassa/internal/lint/analysistest"
+	"dassa/internal/lint/cowopt"
+)
+
+func TestCowopt(t *testing.T) {
+	analysistest.Run(t, cowopt.Analyzer, analysistest.Testdata("a"))
+}

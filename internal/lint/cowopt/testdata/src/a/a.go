@@ -1,0 +1,59 @@
+package a
+
+type View struct {
+	name  string
+	count int
+	tags  map[string]string
+	ids   []int
+}
+
+// Clean: the canonical copy-on-write option.
+func (v *View) WithName(n string) *View {
+	cp := *v
+	cp.name = n
+	return &cp
+}
+
+// Bad: assigns through the pointer receiver.
+func (v *View) WithBadName(n string) *View {
+	v.name = n // want `cowopt: WithBadName assigns to a field of its pointer receiver`
+	return v
+}
+
+// Bad: increments through the pointer receiver.
+func (v *View) WithBump() *View {
+	v.count++ // want `cowopt: WithBump assigns to a field of its pointer receiver`
+	return v
+}
+
+// Bad: a value receiver copies the struct but still shares the map.
+func (v View) WithTag(k, s string) View {
+	v.tags[k] = s // want `cowopt: WithTag writes into a map/slice reachable from the receiver`
+	return v
+}
+
+// Bad: slice element writes mutate the shared backing array.
+func (v *View) WithID(i int) *View {
+	v.ids[0] = i // want `cowopt: WithID writes into a map/slice reachable from the receiver`
+	return v
+}
+
+// Clean: value receiver field assignment only touches the copy.
+func (v View) WithNameValue(n string) View {
+	v.name = n
+	return v
+}
+
+// Clean: not an option shape (does not return the receiver type).
+func (v *View) WithSideEffect(n string) string {
+	v.name = n
+	return n
+}
+
+// Clean: replacing a reference field on a copy is fine — the original's
+// map is untouched.
+func (v *View) WithFreshTags() *View {
+	cp := *v
+	cp.tags = map[string]string{}
+	return &cp
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"dassa/internal/lint/loader"
+)
+
+const ignoreSrc = `package p
+
+func a() {
+	_ = 1 //dassalint:ignore lockio startup-only path
+}
+
+func b() {
+	//dassalint:ignore closecheck, lockio justified
+	_ = 2
+}
+
+func c() {
+	_ = 3 //dassalint:ignore all everything hushed here
+}
+
+func d() {
+	_ = 4 // no ignore at all
+}
+`
+
+func TestIgnoreSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := collectIgnores(&loader.Package{Fset: fset, Files: []*ast.File{f}})
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{4, "lockio", true},       // same-line trailing comment
+		{4, "closecheck", false},  // different analyzer not covered
+		{9, "closecheck", true},   // comment line above the statement
+		{9, "lockio", true},       // comma-separated list
+		{9, "metriclabel", false}, // not in the list
+		{13, "wraperr", true},     // "all" covers every analyzer
+		{17, "lockio", false},     // plain comment is not an ignore
+	}
+	for _, c := range cases {
+		if got := ig.covers(at(c.line), c.analyzer); got != c.want {
+			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzersComplete(t *testing.T) {
+	want := []string{"closecheck", "cowopt", "lockio", "metriclabel", "spanclose", "wraperr"}
+	got := names(Analyzers())
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Analyzers()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

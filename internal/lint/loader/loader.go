@@ -1,0 +1,240 @@
+// Package loader turns Go package patterns into parsed, typechecked
+// packages without importing golang.org/x/tools. It shells out to
+// `go list -export -deps -json` — the same mechanism the go command uses
+// to drive vet — and feeds the resulting export data to the standard
+// library's gc importer, so full types.Info is available even though the
+// proxy-less build environment cannot fetch x/tools/go/packages.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and typechecked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` for args with the given
+// working directory and decodes the package stream.
+func goList(dir string, args []string) ([]listPkg, error) {
+	cmdArgs := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,Error",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint/loader: go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint/loader: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that resolves every import path
+// through the export-data files go list reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint/loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Load lists patterns (e.g. "./...") relative to dir, then parses and
+// typechecks every matched package from source. Dependencies are imported
+// via export data, so one Load of "./..." costs one build of the module.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint/loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, g := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, g)
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses every non-test .go file directly inside dir as one
+// package and typechecks it, resolving its imports with go list. This is
+// the analysistest entry point: testdata packages live outside any build
+// target, so they are loaded by directory rather than by pattern.
+func LoadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint/loader: %w", err)
+	}
+	var files []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, n))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint/loader: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	parsed := make([]*ast.File, 0, len(files))
+	imports := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint/loader: %w", err)
+		}
+		parsed = append(parsed, af)
+		for _, im := range af.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("lint/loader: bad import in %s: %w", f, err)
+			}
+			if p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("lint/loader: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	imp := exportImporter(fset, exports)
+	return checkFiles(fset, imp, parsed[0].Name.Name, dir, files, parsed)
+}
+
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	parsed := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint/loader: %w", err)
+		}
+		parsed = append(parsed, af)
+	}
+	return checkFiles(fset, imp, importPath, dir, files, parsed)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string, parsed []*ast.File) (*Package, error) {
+	conf := types.Config{Importer: imp}
+	info := newInfo()
+	tpkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint/loader: typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      parsed,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"dassa/internal/lint/analysistest"
+	"dassa/internal/lint/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, lockio.Analyzer, analysistest.Testdata("a"))
+}

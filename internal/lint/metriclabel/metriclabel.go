@@ -1,0 +1,161 @@
+// Package metriclabel guards the obs registry against label-cardinality
+// explosions at the source: every label value built at a call site
+// (obs.L(...) or an obs.Label composite literal) must be compile-time
+// bounded — a constant, an enum's String(), or a range over a literal
+// slice of constants. Raw request strings (paths, filenames, user input)
+// as label values mint one time series per distinct value and melt both
+// the registry and whatever scrapes it.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dassa/internal/lint/analysis"
+	"dassa/internal/lint/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc: "metric label values must be compile-time bounded: a constant, a " +
+		"bounded enum's String(), or a range variable over a literal set",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The package defining Label is the mechanism, not a call site; its
+	// constructors necessarily handle unbounded parameters.
+	if obj := pass.Pkg.Scope().Lookup("Label"); obj != nil {
+		if _, ok := obj.(*types.TypeName); ok {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if v := labelCtorValue(pass, x); v != nil {
+					checkBounded(pass, f, v)
+				}
+			case *ast.CompositeLit:
+				if v := labelLitValue(pass, x); v != nil {
+					checkBounded(pass, f, v)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// labelCtorValue returns the value argument of an obs.L(key, value) call.
+func labelCtorValue(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	fn := astutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "L" || astutil.RecvNamed(fn) != nil {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 1 || !isLabelType(sig.Results().At(0).Type()) {
+		return nil
+	}
+	if len(call.Args) != 2 {
+		return nil
+	}
+	return call.Args[1]
+}
+
+// labelLitValue returns the Value field expression of a Label{...} literal.
+func labelLitValue(pass *analysis.Pass, lit *ast.CompositeLit) ast.Expr {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isLabelType(tv.Type) {
+		return nil
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Value" {
+				return kv.Value
+			}
+			continue
+		}
+		if i == 1 {
+			return el // positional {key, value}
+		}
+	}
+	return nil
+}
+
+func isLabelType(t types.Type) bool {
+	n := astutil.NamedOf(t)
+	return n != nil && n.Obj().Name() == "Label"
+}
+
+func checkBounded(pass *analysis.Pass, file *ast.File, v ast.Expr) {
+	if bounded(pass, file, v) {
+		return
+	}
+	pass.Reportf(v.Pos(),
+		"metriclabel: label value is not compile-time bounded; unbounded values "+
+			"mint one series per distinct string — use a constant, an enum String(), "+
+			"or bucket the value first")
+}
+
+func bounded(pass *analysis.Pass, file *ast.File, v ast.Expr) bool {
+	v = ast.Unparen(v)
+	// 1. Constants (literals, const idents, concatenations thereof).
+	if tv, ok := pass.TypesInfo.Types[v]; ok && tv.Value != nil {
+		return true
+	}
+	switch x := v.(type) {
+	case *ast.CallExpr:
+		// 2. Enum stringers: String() on a named type whose underlying is
+		// a non-string basic type has as many values as the enum.
+		fn := astutil.Callee(pass.TypesInfo, x)
+		if fn != nil && fn.Name() == "String" && len(x.Args) == 0 {
+			if recv := astutil.RecvNamed(fn); recv != nil {
+				if b, ok := recv.Underlying().(*types.Basic); ok && b.Info()&types.IsString == 0 {
+					return true
+				}
+			}
+		}
+	case *ast.Ident:
+		// 3. The value variable of `for _, v := range []string{...}` over a
+		// literal of constants — serve's per-route registration loop.
+		if obj := pass.ObjectOf(x); obj != nil {
+			return rangeOverLiteral(pass, file, obj)
+		}
+	}
+	return false
+}
+
+// rangeOverLiteral reports whether obj is defined as the value variable of
+// a range statement over a composite literal whose elements are all
+// constants.
+func rangeOverLiteral(pass *analysis.Pass, file *ast.File, obj types.Object) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		id, ok := rs.Value.(*ast.Ident)
+		if !ok || pass.TypesInfo.Defs[id] != obj {
+			return true
+		}
+		lit, ok := ast.Unparen(rs.X).(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range lit.Elts {
+			tv, ok := pass.TypesInfo.Types[el]
+			if !ok || tv.Value == nil {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

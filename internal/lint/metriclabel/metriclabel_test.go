@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"dassa/internal/lint/analysistest"
+	"dassa/internal/lint/metriclabel"
+)
+
+func TestMetriclabel(t *testing.T) {
+	analysistest.Run(t, metriclabel.Analyzer, analysistest.Testdata("a"))
+}

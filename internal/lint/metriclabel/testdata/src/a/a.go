@@ -1,0 +1,57 @@
+package a
+
+import "dassa/internal/obs"
+
+const routeSearch = "/search"
+
+// Outcome is a small enum; its String() has as many values as the enum.
+type Outcome int
+
+func (o Outcome) String() string {
+	switch o {
+	case 0:
+		return "hit"
+	case 1:
+		return "miss"
+	}
+	return "other"
+}
+
+func dynamicRoutes() []string { return nil }
+
+// Clean: literal, const, and concatenated-const values.
+func goodConstants(reg *obs.Registry) {
+	_ = reg.Counter("req_total", "requests", obs.L("route", "/read"))
+	_ = reg.Counter("req_total", "requests", obs.L("route", routeSearch))
+	_ = reg.Counter("req_total", "requests", obs.L("route", "v1"+routeSearch))
+}
+
+// Clean: a bounded enum's String().
+func goodEnum(reg *obs.Registry, o Outcome) {
+	_ = reg.Counter("cache_total", "lookups", obs.L("outcome", o.String()))
+}
+
+// Clean: range over a literal slice of constants — the serve idiom.
+func goodRange(reg *obs.Registry) {
+	for _, rt := range []string{"/search", "/read", "/detect"} {
+		_ = reg.Counter("req_total", "requests", obs.L("route", rt))
+	}
+}
+
+// Bad: a raw request string mints one series per distinct value.
+func badParam(reg *obs.Registry, path string) {
+	_ = reg.Counter("req_total", "requests", obs.L("route", path)) // want `metriclabel: label value is not compile-time bounded`
+}
+
+// Bad: same hole via a composite literal.
+func badLiteral(path string) obs.Label {
+	return obs.Label{Key: "route", Value: path} // want `metriclabel: label value is not compile-time bounded`
+}
+
+// Bad: ranging over a function result is unbounded — the set is decided
+// at runtime.
+func badRange(reg *obs.Registry) {
+	for _, rt := range dynamicRoutes() {
+		_ = reg.Counter("req_total", "requests", obs.L("route", rt)) // want `metriclabel: label value is not compile-time bounded`
+	}
+}

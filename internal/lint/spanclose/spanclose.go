@@ -1,0 +1,312 @@
+// Package spanclose verifies that every phase span started with
+// Spans.Start is ended on all paths out of the function: either via
+// `defer sp.End()` (which also survives panics) or by an End call that no
+// early return can skip. An unclosed span silently drops a rank's phase
+// time and skews the read/exchange/compute breakdown the paper's figures
+// are built from.
+package spanclose
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dassa/internal/lint/analysis"
+	"dassa/internal/lint/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanclose",
+	Doc: "every Spans.Start must be matched by End on all return paths " +
+		"(including panics) — prefer `defer sp.End()`",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, u := range astutil.Units(f) {
+			checkUnit(pass, u)
+		}
+	}
+	return nil
+}
+
+// isStartCall matches a call to method Start on a type named *Spans
+// returning a type named Span — the obs API shape, without hard-coding
+// the import path so testdata stand-ins are exercised too.
+func isStartCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := astutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Start" {
+		return false
+	}
+	recv := astutil.RecvNamed(fn)
+	if recv == nil || recv.Obj().Name() != "Spans" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	res := astutil.NamedOf(sig.Results().At(0).Type())
+	return res != nil && res.Obj().Name() == "Span"
+}
+
+func checkUnit(pass *analysis.Pass, u astutil.FuncUnit) {
+	// Walk only this unit's own statements; a span started in a closure is
+	// that closure's responsibility.
+	var starts []*ast.CallExpr
+	astutil.WalkUnit(u.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isStartCall(pass, call) {
+			starts = append(starts, call)
+		}
+		return true
+	})
+	for _, call := range starts {
+		checkStart(pass, u, call)
+	}
+}
+
+func checkStart(pass *analysis.Pass, u astutil.FuncUnit, call *ast.CallExpr) {
+	// Chained `x.Start(...).End()` ends immediately: fine.
+	if parentIsSelector(u.Body, call) {
+		return
+	}
+	// `return s.Start(...)` or `finish(s.Start(...))`: the span escapes
+	// unassigned — ending it is the receiver's responsibility.
+	if escapesUnassigned(u.Body, call) {
+		return
+	}
+	assign, lhs := assignmentOf(u.Body, call)
+	if assign == nil || lhs == nil || lhs.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"spanclose: Span result discarded; the phase time is never recorded — "+
+				"assign it and `defer sp.End()`")
+		return
+	}
+	obj := pass.ObjectOf(lhs)
+	if obj == nil {
+		return
+	}
+
+	st := spanTracker{pass: pass, obj: obj}
+	astutil.WalkUnit(u.Body, st.visitShallow)
+	// Deferred closures count: `defer func() { sp.End() }()`.
+	ast.Inspect(u.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && st.isEndOnObj(c) {
+						st.deferred = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	switch {
+	case st.deferred || st.escapes:
+		return
+	case len(st.ends) == 0:
+		pass.Reportf(call.Pos(),
+			"spanclose: span is started but never ended in this function; add `defer %s.End()`", lhs.Name)
+	case !endReachesAllPaths(u.Body, assign, st.ends, obj, pass):
+		pass.Reportf(call.Pos(),
+			"spanclose: span may not be ended on every return path; use `defer %s.End()`", lhs.Name)
+	}
+}
+
+type spanTracker struct {
+	pass     *analysis.Pass
+	obj      types.Object
+	deferred bool
+	escapes  bool
+	ends     []ast.Node
+}
+
+// visitShallow records defers, direct End calls, and uses of the span
+// variable that hand it to other code (argument, return, field store).
+func (t *spanTracker) visitShallow(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.DeferStmt:
+		if t.isEndOnObj(x.Call) {
+			t.deferred = true
+		}
+		return false
+	case *ast.CallExpr:
+		if t.isEndOnObj(x) {
+			t.ends = append(t.ends, x)
+			return true
+		}
+		for _, arg := range x.Args {
+			if t.isObjIdent(arg) {
+				t.escapes = true // handed to another function: its problem now
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			if t.isObjIdent(r) {
+				t.escapes = true
+			}
+		}
+	case *ast.AssignStmt:
+		for i, r := range x.Rhs {
+			if t.isObjIdent(r) && i < len(x.Lhs) {
+				if _, plain := x.Lhs[i].(*ast.Ident); !plain {
+					t.escapes = true // stored into a field/map: tracked elsewhere
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (t *spanTracker) isObjIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && t.pass.ObjectOf(id) == t.obj
+}
+
+func (t *spanTracker) isEndOnObj(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return t.isObjIdent(sel.X)
+}
+
+// escapesUnassigned reports whether call's result leaves the function
+// without ever being bound to a local: returned directly or passed as an
+// argument to another call.
+func escapesUnassigned(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if ast.Unparen(r) == call {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				if ast.Unparen(a) == call {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// parentIsSelector reports whether call is immediately selected on
+// (x.Start(...).End() chains).
+func parentIsSelector(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && ast.Unparen(sel.X) == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// assignmentOf finds the `sp := x.Start(...)` statement and its single
+// LHS identifier, if that is how the call's result is consumed.
+func assignmentOf(body *ast.BlockStmt, call *ast.CallExpr) (*ast.AssignStmt, *ast.Ident) {
+	var as *ast.AssignStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok && len(a.Rhs) == 1 && ast.Unparen(a.Rhs[0]) == call {
+			as = a
+			return false
+		}
+		return as == nil
+	})
+	if as == nil || len(as.Lhs) != 1 {
+		return as, nil
+	}
+	id, _ := as.Lhs[0].(*ast.Ident)
+	return as, id
+}
+
+// endReachesAllPaths approximates "no return skips End": some End call
+// must be a sibling of the Start assignment in the same statement list,
+// with no intervening statement that returns, branches, or panics.
+func endReachesAllPaths(body *ast.BlockStmt, assign *ast.AssignStmt, ends []ast.Node, obj types.Object, pass *analysis.Pass) bool {
+	list := enclosingList(body, assign)
+	if list == nil {
+		return false
+	}
+	start := -1
+	for i, st := range list {
+		if st == ast.Stmt(assign) {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	for i := start + 1; i < len(list); i++ {
+		if isDirectEnd(list[i], ends) {
+			return true
+		}
+		// Any statement that can leave the function (or hide the End
+		// behind a condition) before an unconditional End fails the check.
+		if astutil.ContainsReturnOrPanic(list[i]) {
+			return false
+		}
+	}
+	return false
+}
+
+// isDirectEnd reports whether stmt is an unconditional End call: a bare
+// expression statement or a single assignment from the End's result.
+func isDirectEnd(stmt ast.Stmt, ends []ast.Node) bool {
+	var e ast.Expr
+	switch x := stmt.(type) {
+	case *ast.ExprStmt:
+		e = x.X
+	case *ast.AssignStmt:
+		if len(x.Rhs) != 1 {
+			return false
+		}
+		e = x.Rhs[0]
+	default:
+		return false
+	}
+	e = ast.Unparen(e)
+	for _, want := range ends {
+		if e == want {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingList returns the statement list that directly contains stmt.
+func enclosingList(body *ast.BlockStmt, stmt ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			list = x.List
+		case *ast.CaseClause:
+			list = x.Body
+		case *ast.CommClause:
+			list = x.Body
+		default:
+			return out == nil
+		}
+		for _, st := range list {
+			if st == stmt {
+				out = list
+				return false
+			}
+		}
+		return out == nil
+	})
+	return out
+}

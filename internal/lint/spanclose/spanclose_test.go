@@ -1,0 +1,12 @@
+package spanclose_test
+
+import (
+	"testing"
+
+	"dassa/internal/lint/analysistest"
+	"dassa/internal/lint/spanclose"
+)
+
+func TestSpanclose(t *testing.T) {
+	analysistest.Run(t, spanclose.Analyzer, analysistest.Testdata("a"))
+}

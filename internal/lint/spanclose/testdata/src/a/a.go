@@ -1,0 +1,94 @@
+package a
+
+import (
+	"errors"
+	"time"
+)
+
+// Local stand-ins with the obs API shape: Spans.Start returns a Span
+// whose End records the elapsed phase time.
+type Spans struct{}
+
+type Span struct{}
+
+func (s *Spans) Start(rank, phase int) Span { return Span{} }
+
+func (sp Span) End() time.Duration { return 0 }
+
+func work() error { return errors.New("boom") }
+
+func finish(sp Span) {}
+
+type holder struct{ sp Span }
+
+// Clean: the canonical form survives early returns and panics.
+func goodDefer(s *Spans) error {
+	sp := s.Start(0, 1)
+	defer sp.End()
+	return work()
+}
+
+// Clean: straight-line Start then End, nothing can skip it.
+func goodLinear(s *Spans) {
+	sp := s.Start(0, 1)
+	_ = work()
+	sp.End()
+}
+
+// Clean: chained Start-End measures an empty phase but closes it.
+func goodChained(s *Spans) {
+	s.Start(0, 1).End()
+}
+
+// Clean: handing the span to another function transfers responsibility.
+func goodEscapeArg(s *Spans) {
+	sp := s.Start(0, 1)
+	finish(sp)
+}
+
+// Clean: returning the span transfers responsibility to the caller.
+func goodEscapeReturn(s *Spans) Span {
+	return s.Start(0, 1)
+}
+
+// Clean: a deferred closure ends it.
+func goodDeferClosure(s *Spans) error {
+	sp := s.Start(0, 1)
+	defer func() {
+		sp.End()
+	}()
+	return work()
+}
+
+// Clean: stored into a field — whoever owns the struct ends it.
+func goodEscapeField(s *Spans, h *holder) {
+	sp := s.Start(0, 1)
+	h.sp = sp
+}
+
+// Bad: the Span result is thrown away; End can never be called.
+func badDiscarded(s *Spans) {
+	s.Start(0, 1) // want `spanclose: Span result discarded`
+}
+
+// Bad: assigned to blank, same hole.
+func badBlank(s *Spans) {
+	_ = s.Start(0, 1) // want `spanclose: Span result discarded`
+}
+
+// Bad: started and simply never ended.
+func badNeverEnded(s *Spans) {
+	sp := s.Start(0, 1) // want `spanclose: span is started but never ended`
+	_ = sp
+	_ = work()
+}
+
+// Bad: the early return skips the End.
+func badEarlyReturn(s *Spans) error {
+	sp := s.Start(0, 1) // want `spanclose: span may not be ended on every return path`
+	if err := work(); err != nil {
+		return err
+	}
+	sp.End()
+	return nil
+}

@@ -1,0 +1,66 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+
+type ParseError struct{ Line int }
+
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %d", e.Line) }
+
+// Clean: %w keeps the chain reachable.
+func wrapOK(err error) error {
+	return fmt.Errorf("ctx: %w", err)
+}
+
+// Bad: %v flattens the chain.
+func wrapBadV(err error) error {
+	return fmt.Errorf("ctx: %v", err) // want `wraperr: error argument formatted with %v`
+}
+
+// Bad: %s on a later argument.
+func wrapBadS(path string, err error) error {
+	return fmt.Errorf("open %s: %s", path, err) // want `wraperr: error argument formatted with %s`
+}
+
+// Bad: a typed error is flattened too.
+func wrapBadTyped(pe *ParseError) error {
+	return fmt.Errorf("loading: %v", pe) // want `wraperr: error argument formatted with %v`
+}
+
+// Clean: no error arguments at all.
+func msgOnly(n int) error {
+	return fmt.Errorf("count %d too big", n)
+}
+
+// Clean: the error's string form is a string, not an error.
+func stringified(err error) error {
+	return fmt.Errorf("ctx: %s", err.Error())
+}
+
+// Clean: mixing %w with other verbs.
+func wrapMixed(path string, err error) error {
+	return fmt.Errorf("open %s: %w", path, err)
+}
+
+// Clean: errors.Is reaches through wrapping.
+func compareOK(err error) bool { return errors.Is(err, ErrGone) }
+
+// Bad: == misses wrapped sentinels.
+func compareBad(err error) bool {
+	return err == ErrGone // want `wraperr: sentinel error compared with ==`
+}
+
+// Bad: != too.
+func compareBadNeq(err error) bool {
+	return ErrGone != err // want `wraperr: sentinel error compared with !=`
+}
+
+// Clean: nil comparison is the blessed direct form.
+func compareNil(err error) bool { return err == nil }
+
+// Clean: comparing two plain error values (no sentinel involved).
+func compareTwo(a, b error) bool { return a == b }

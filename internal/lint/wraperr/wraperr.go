@@ -1,0 +1,144 @@
+// Package wraperr enforces DASSA's error-chain convention: an error value
+// formatted into fmt.Errorf must travel through %w (so errors.Is/As reach
+// sentinel and typed errors through the wrap), and sentinel errors must be
+// compared with errors.Is, never ==.
+package wraperr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dassa/internal/lint/analysis"
+	"dassa/internal/lint/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wraperr",
+	Doc: "fmt.Errorf must wrap error arguments with %w, and sentinel errors " +
+		"(Err* package vars) must be compared via errors.Is, not ==",
+	Run: run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkErrorf(pass, x)
+		case *ast.BinaryExpr:
+			checkSentinelCompare(pass, x)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := astutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Errorf" || astutil.PkgPath(fn) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic format string: nothing to check
+	}
+	verbs, ok := parseVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // indexed arguments etc.: mapping args to verbs is unreliable
+	}
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		v := verbs[i]
+		if v == 'w' || v == '*' {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || !types.Implements(at.Type, errorIface) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"wraperr: error argument formatted with %%%c; use %%w so callers can reach it via errors.Is/As", v)
+	}
+}
+
+// parseVerbs maps each consumed argument to its verb rune ('*' for a
+// width/precision star). ok is false for formats this simple scanner
+// cannot map reliably (explicit argument indexes).
+func parseVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			switch {
+			case c == '[':
+				return nil, false
+			case strings.ContainsRune("+-# 0.", rune(c)), c >= '0' && c <= '9':
+				i++
+			case c == '*':
+				verbs = append(verbs, '*')
+				i++
+			default:
+				verbs = append(verbs, rune(c))
+				goto done
+			}
+		}
+	done:
+	}
+	return verbs, true
+}
+
+func checkSentinelCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, b.X) || isNil(pass, b.Y) {
+		return // err == nil is the one blessed direct comparison
+	}
+	if sentinel(pass, b.X) || sentinel(pass, b.Y) {
+		pass.Reportf(b.OpPos,
+			"wraperr: sentinel error compared with %s; use errors.Is so wrapped chains still match", b.Op)
+	}
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// sentinel reports whether e names a package-level error variable whose
+// name starts with Err/err — the sentinel convention.
+func sentinel(pass *analysis.Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	n := v.Name()
+	if !strings.HasPrefix(n, "Err") && !strings.HasPrefix(n, "err") {
+		return false
+	}
+	return types.Implements(v.Type(), errorIface)
+}

@@ -1,0 +1,12 @@
+package wraperr_test
+
+import (
+	"testing"
+
+	"dassa/internal/lint/analysistest"
+	"dassa/internal/lint/wraperr"
+)
+
+func TestWraperr(t *testing.T) {
+	analysistest.Run(t, wraperr.Analyzer, analysistest.Testdata("a"))
+}

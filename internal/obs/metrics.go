@@ -164,9 +164,10 @@ type series struct {
 
 // family groups the series sharing one metric name.
 type family struct {
-	name string
-	help string
-	kind kind
+	name  string
+	help  string
+	kind  kind
+	count int // live series in this family, overflow included
 }
 
 // Registry holds metric families and their series. All methods are safe for
@@ -177,14 +178,39 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	series   map[string]*series
+	limit    int // max series per family; excess collapses into overflow
 }
 
-// NewRegistry returns an empty registry.
+// DefaultSeriesLimit is the per-family series cap: far above any bounded
+// label set the code registers (routes, phases, outcomes), far below what
+// an unbounded label value could mint. The static analyzer (metriclabel)
+// keeps unbounded values out at compile time; this cap is the runtime
+// backstop for whatever slips through.
+const DefaultSeriesLimit = 64
+
+// overflowLabels marks the single series that absorbs registrations past
+// the family's cap.
+var overflowLabels = []Label{{Key: "overflow", Value: "true"}}
+
+// NewRegistry returns an empty registry with the default series limit.
 func NewRegistry() *Registry {
 	return &Registry{
 		families: map[string]*family{},
 		series:   map[string]*series{},
+		limit:    DefaultSeriesLimit,
 	}
+}
+
+// SetSeriesLimit changes the per-family series cap (n < 1 resets to the
+// default). Existing series are kept even if they exceed the new cap;
+// only future registrations are bounded by it.
+func (r *Registry) SetSeriesLimit(n int) {
+	if n < 1 {
+		n = DefaultSeriesLimit
+	}
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
 }
 
 var std = NewRegistry()
@@ -218,23 +244,37 @@ func seriesKey(name, labels string) string {
 }
 
 // register finds or creates the series; the family's kind must match.
+// A family at its series limit hands all further label sets the shared
+// overflow series instead of minting new ones, so an unbounded label
+// value degrades one family's resolution rather than growing the
+// registry (and every scrape of it) without bound.
 func (r *Registry) register(name, help string, k kind, labels []Label) *series {
 	lb := renderLabels(labels)
 	key := seriesKey(name, lb)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if f, ok := r.families[name]; ok {
+	f, ok := r.families[name]
+	if ok {
 		if f.kind != k {
 			panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", name, k, f.kind))
 		}
 	} else {
-		r.families[name] = &family{name: name, help: help, kind: k}
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
 	}
 	if s, ok := r.series[key]; ok {
 		return s
 	}
+	if f.count >= r.limit {
+		lb = renderLabels(overflowLabels)
+		key = seriesKey(name, lb)
+		if s, ok := r.series[key]; ok {
+			return s
+		}
+	}
 	s := &series{name: name, labels: lb}
 	r.series[key] = s
+	f.count++
 	return s
 }
 

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dassa/internal/dass"
@@ -63,19 +64,27 @@ type fileStamp struct {
 
 // Ingester polls a directory for newly arriving DASF files and maintains
 // the live catalog the HTTP handlers query. All methods are safe for
-// concurrent use.
+// concurrent use. Scans do all their filesystem work outside ing.mu
+// (lockio: no I/O while a lock is held) — a slow disk must never stall
+// the request handlers reading the catalog; the lock is only taken to
+// swap in the finished snapshot.
 type Ingester struct {
 	cfg   IngestConfig
 	cache *BlockCache
 	log   *slog.Logger
 
-	mu      sync.RWMutex
-	cat     *dass.Catalog
-	bad     []dass.BadFile
-	known   map[string]fileStamp
-	vcaTail int64 // newest member timestamp in the live VCA
-	vcaSeen map[string]bool
-	stats   IngestStats
+	// scanning coalesces concurrent ScanOnce calls: while one scan runs,
+	// further calls are no-ops. The scanner owns known/vcaTail/vcaSeen,
+	// so they need no lock.
+	scanning atomic.Bool
+	known    map[string]fileStamp
+	vcaTail  int64 // newest member timestamp in the live VCA
+	vcaSeen  map[string]bool
+
+	mu    sync.RWMutex // guards cat, bad, stats only
+	cat   *dass.Catalog
+	bad   []dass.BadFile
+	stats IngestStats
 }
 
 // NewIngester builds an ingester over dir. cache may be nil (no
@@ -111,8 +120,16 @@ func (ing *Ingester) Run(ctx context.Context) {
 }
 
 // ScanOnce runs one poll cycle: tolerant cached scan, cache invalidation
-// for changed/removed files, retention trim, and live-VCA extension.
+// for changed/removed files, retention trim, and live-VCA extension. All
+// filesystem work happens before the catalog lock is taken; the lock only
+// publishes the finished snapshot. A ScanOnce that races another returns
+// immediately — the in-flight scan will surface the same state.
 func (ing *Ingester) ScanOnce() error {
+	if !ing.scanning.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer ing.scanning.Store(false)
+
 	t0 := time.Now()
 	cat, bad, err := dass.ScanDirCachedTolerant(ing.cfg.Dir)
 	if err != nil {
@@ -127,11 +144,11 @@ func (ing *Ingester) ScanOnce() error {
 		entries = entries[len(entries)-n:]
 	}
 
-	ing.mu.Lock()
-	defer ing.mu.Unlock()
-
 	// Diff against what we served before: invalidate cached blocks of
-	// changed files, count arrivals, measure ingest lag.
+	// changed files, count arrivals, measure ingest lag. known is owned by
+	// the (single) active scanner, so no lock is held across the os.Stat
+	// calls or the cache invalidations.
+	var ingested, changed, removed int64
 	seen := map[string]bool{}
 	var newest int64 = -1
 	var lag int64 = -1
@@ -141,7 +158,7 @@ func (ing *Ingester) ScanOnce() error {
 		now := fileStamp{timestamp: e.Timestamp, samples: e.Info.NumSamples, offset: e.Info.DataOffset}
 		switch {
 		case !ok:
-			ing.stats.FilesIngested++
+			ingested++
 			if fi, err := os.Stat(e.Path); err == nil {
 				if l := time.Since(fi.ModTime()).Milliseconds(); l > lag {
 					lag = l
@@ -151,7 +168,7 @@ func (ing *Ingester) ScanOnce() error {
 				newest = e.Timestamp
 			}
 		case st != now:
-			ing.stats.FilesChanged++
+			changed++
 			if ing.cache != nil {
 				ing.cache.InvalidatePath(e.Path)
 			}
@@ -161,16 +178,28 @@ func (ing *Ingester) ScanOnce() error {
 	for path := range ing.known {
 		if !seen[path] {
 			delete(ing.known, path)
-			ing.stats.FilesRemoved++
+			removed++
 			if ing.cache != nil {
 				ing.cache.InvalidatePath(path)
 			}
 		}
 	}
 
+	var vcaAppends, vcaErrors int64
+	if ing.cfg.LiveVCA {
+		vcaAppends, vcaErrors = ing.extendLiveVCA(entries)
+	}
+
+	// Publish: the only part of the scan that runs under the lock.
+	ing.mu.Lock()
 	ing.cat = dass.CatalogOf(entries)
 	ing.bad = bad
 	ing.stats.Scans++
+	ing.stats.FilesIngested += ingested
+	ing.stats.FilesChanged += changed
+	ing.stats.FilesRemoved += removed
+	ing.stats.VCAAppends += vcaAppends
+	ing.stats.VCAErrors += vcaErrors
 	ing.stats.FilesTotal = len(entries)
 	ing.stats.BadFiles = len(bad)
 	if lag >= 0 {
@@ -180,23 +209,23 @@ func (ing *Ingester) ScanOnce() error {
 	}
 	ing.stats.LastScanUnixMS = t0.UnixMilli()
 	ing.stats.LastScanDurMS = time.Since(t0).Milliseconds()
+	totalIngested := ing.stats.FilesIngested
+	ing.mu.Unlock()
 
-	if ing.cfg.LiveVCA {
-		ing.extendLiveVCALocked(entries)
-	}
 	if newest >= 0 {
 		ing.log.Info("ingest scan",
-			"files", len(entries), "ingested", ing.stats.FilesIngested,
+			"files", len(entries), "ingested", totalIngested,
 			"bad", len(bad), "newest", newest, "lag_ms", lag)
 	}
 	return nil
 }
 
-// extendLiveVCALocked keeps Dir/live.vca.dasf covering the ingested series:
+// extendLiveVCA keeps Dir/live.vca.dasf covering the ingested series:
 // created on the first batch, extended with AppendToVCA afterwards. Files
 // that cannot continue the series (shape change, out-of-order arrival) are
-// counted, not fatal.
-func (ing *Ingester) extendLiveVCALocked(entries []dass.Entry) {
+// counted, not fatal. Runs on the scanner's side of the fence: vcaSeen and
+// vcaTail are scanner-owned, and the VCA writes happen with no lock held.
+func (ing *Ingester) extendLiveVCA(entries []dass.Entry) (appends, errors int64) {
 	path := filepath.Join(ing.cfg.Dir, LiveVCAName)
 	var pending []dass.Entry
 	for _, e := range entries {
@@ -205,7 +234,7 @@ func (ing *Ingester) extendLiveVCALocked(entries []dass.Entry) {
 		}
 	}
 	if len(pending) == 0 {
-		return
+		return 0, 0
 	}
 	var err error
 	if _, statErr := os.Stat(path); statErr != nil {
@@ -214,15 +243,14 @@ func (ing *Ingester) extendLiveVCALocked(entries []dass.Entry) {
 		_, err = dass.AppendToVCA(path, pending)
 	}
 	if err != nil {
-		ing.stats.VCAErrors++
 		ing.log.Warn("live VCA append failed", "err", err)
-		return
+		return 0, 1
 	}
-	ing.stats.VCAAppends++
 	for _, e := range pending {
 		ing.vcaSeen[e.Path] = true
 	}
 	ing.vcaTail = pending[len(pending)-1].Timestamp
+	return 1, 0
 }
 
 // Catalog returns the current served catalog (a consistent snapshot —

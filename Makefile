@@ -31,13 +31,16 @@ lint-extra:
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@v1.1.3
 	govulncheck ./...
 
-# The three parser fuzz targets, FUZZTIME each (CI runs 30s smokes).
+# The fuzz targets, FUZZTIME each (CI runs 30s smokes; the scheduled
+# fuzz-soak workflow runs minutes-long sessions with a cached corpus).
 # -fuzzminimizetime is capped: minimizing multi-KB interesting inputs
 # would otherwise consume the whole budget.
 fuzz:
 	$(GO) test ./internal/dasf -run='^$$' -fuzz='^FuzzOpenCorruptIndex$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
 	$(GO) test ./internal/dasf -run='^$$' -fuzz='^FuzzOpenChunkedDeflate$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
 	$(GO) test ./internal/dasf -run='^$$' -fuzz='^FuzzOpenAppendedVCA$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
+	$(GO) test ./internal/dass -run='^$$' -fuzz='^FuzzIndexCache$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
+	$(GO) test ./internal/dass -run='^$$' -fuzz='^FuzzSearchRegex$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -48,6 +48,10 @@ func main() {
 		queue    = flag.Int("queue", 8, "queries waiting for a slot before new ones get 429")
 		wait     = flag.Duration("queue-wait", 5*time.Second, "longest a queued query waits before 429")
 		jobs     = flag.Int("jobs", 2, "concurrent /detect jobs")
+		reqTO    = flag.Duration("request-timeout", 0, "per-request deadline covering queue wait, reads, and compute (0 = none)")
+		quarN    = flag.Int("quarantine-after", 3, "consecutive failed scans before a file is quarantined (0 disables)")
+		quarBO   = flag.Duration("quarantine-backoff", 0, "initial re-probe backoff for quarantined files (0 = 4x poll)")
+		quarMax  = flag.Duration("quarantine-max-backoff", 5*time.Minute, "re-probe backoff ceiling")
 		nodes    = flag.Int("nodes", 1, "simulated nodes for the analysis engine")
 		cores    = flag.Int("cores", 4, "cores per node for the analysis engine")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -72,21 +76,25 @@ func main() {
 
 	s := serve.NewServer(serve.Config{
 		Ingest: serve.IngestConfig{
-			Dir:         *dir,
-			Poll:        *poll,
-			RetainFiles: *retain,
-			LiveVCA:     *liveVCA,
-			Log:         logger,
+			Dir:                  *dir,
+			Poll:                 *poll,
+			RetainFiles:          *retain,
+			LiveVCA:              *liveVCA,
+			QuarantineAfter:      *quarN,
+			QuarantineBackoff:    *quarBO,
+			QuarantineMaxBackoff: *quarMax,
+			Log:                  logger,
 		},
-		CacheBytes:    *cacheMB << 20,
-		MaxConcurrent: *inflight,
-		MaxQueue:      *queue,
-		QueueWait:     *wait,
-		DetectJobs:    *jobs,
-		Nodes:         *nodes,
-		CoresPerNode:  *cores,
-		Log:           logger,
-		EnablePprof:   *pprofOn,
+		CacheBytes:     *cacheMB << 20,
+		MaxConcurrent:  *inflight,
+		MaxQueue:       *queue,
+		QueueWait:      *wait,
+		DetectJobs:     *jobs,
+		RequestTimeout: *reqTO,
+		Nodes:          *nodes,
+		CoresPerNode:   *cores,
+		Log:            logger,
+		EnablePprof:    *pprofOn,
 	})
 
 	// Populate the catalog before accepting traffic, then poll.

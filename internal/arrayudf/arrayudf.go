@@ -246,6 +246,12 @@ func Apply(c *mpi.Comm, v *dass.View, spec Spec, udf PointUDF) Result {
 	st := blk.stencilFor()
 	stride := spec.stride()
 	for ch := 0; ch < own; ch++ {
+		// Channel rows are the sequential engine's tile boundary: a
+		// cancelled view aborts between rows, and the panic unwinds
+		// through mpi.Run as the context's error.
+		if err := v.Context().Err(); err != nil {
+			panic(fmt.Errorf("arrayudf: apply: %w", err))
+		}
 		st.ch = ch
 		row := res.Data.Row(ch)
 		for i := 0; i < outT; i++ {
@@ -267,6 +273,9 @@ func ApplyRows(c *mpi.Comm, v *dass.View, spec Spec, rowLen int, udf RowUDF) Res
 	}
 	st := blk.stencilFor()
 	for ch := 0; ch < own; ch++ {
+		if err := v.Context().Err(); err != nil {
+			panic(fmt.Errorf("arrayudf: apply rows: %w", err))
+		}
 		st.ch = ch
 		st.t = 0
 		row := udf(st)

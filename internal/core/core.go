@@ -63,6 +63,14 @@ func (c Config) withDefaults() Config {
 // exceeded Config.NodeMemoryBytes.
 var ErrOutOfMemory = fmt.Errorf("core: estimated per-node memory exceeds the configured budget")
 
+// IsCancellation reports whether err stems from a cancelled or expired
+// context. Every Framework method honors cancellation through the view it
+// is given: bind a context with v.WithContext(ctx) and a run that is
+// cancelled mid-read or mid-compute returns an error satisfying this
+// predicate (and errors.Is against context.Canceled / DeadlineExceeded) —
+// never a silently degraded result, whatever the FailPolicy.
+func IsCancellation(err error) bool { return dass.IsCancellation(err) }
+
 // Framework executes analyses under a machine layout.
 type Framework struct {
 	cfg Config
@@ -346,7 +354,7 @@ func (f *Framework) StackedInterferometry(v *dass.View, opt StackedInterferometr
 			return m, m.Bytes(), tr
 		},
 		UDF: func(s *arrayudf.Stencil, shared any) []float64 {
-			return opt.StackedUDF(shared.(*detect.StackedMaster))(s)
+			return opt.StackedUDFContext(v.Context(), shared.(*detect.StackedMaster))(s)
 		},
 	}, opt.OutPath)
 	if err != nil {

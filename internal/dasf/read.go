@@ -3,6 +3,7 @@ package dasf
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -49,6 +50,7 @@ func (s *IOStats) Add(other IOStats) {
 type Reader struct {
 	f     *os.File
 	path  string
+	ctx   context.Context    // captured at Open; bounds every physical read
 	inj   *faults.Injector   // captured at Open; nil when no injection
 	retry faults.RetryPolicy // captured at Open
 	info  Info
@@ -68,10 +70,22 @@ type chunkRef struct {
 // injector sees every read here, so injected stragglers, transient EIOs,
 // and permanent corruption hit exactly where a real file system would.
 func (r *Reader) readAt(buf []byte, off int64) (int, error) {
+	if err := r.ctx.Err(); err != nil {
+		return 0, fmt.Errorf("dasf: %s: %w", r.path, err)
+	}
 	if r.inj != nil {
 		if d := r.inj.ReadDelay(r.path); d > 0 {
 			r.stats.SlowReads++
-			time.Sleep(d)
+			// A straggler read must stay cancellable: a wedged storage
+			// target (which this delay models) would otherwise hold the
+			// request past its deadline.
+			t := time.NewTimer(d)
+			select {
+			case <-r.ctx.Done():
+				t.Stop()
+				return 0, fmt.Errorf("dasf: %s: %w", r.path, r.ctx.Err())
+			case <-t.C:
+			}
 		}
 		if err := r.inj.ReadFault(r.path); err != nil {
 			r.stats.FaultsInjected++
@@ -92,11 +106,23 @@ func (r *Reader) readAt(buf []byte, off int64) (int, error) {
 // under the installed retry policy. The array data is not touched; this is
 // the cheap "metadata-only" access VCA construction relies on.
 func Open(path string) (*Reader, error) {
+	return OpenContext(context.Background(), path)
+}
+
+// OpenContext is Open bound to a context. The context is captured by the
+// returned Reader and bounds every subsequent physical read: injected
+// straggler delays become cancellable, retry backoff unwinds early, and a
+// read issued after cancellation fails with the context's error instead of
+// touching the disk. A nil ctx means context.Background().
+func OpenContext(ctx context.Context, path string) (*Reader, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	inj := Injector()
 	pol := RetryPolicy()
 	var r *Reader
 	var cum IOStats // stats of failed attempts, so retried work is counted
-	attempts, err := pol.Do(func() error {
+	attempts, err := pol.DoContext(ctx, func() error {
 		if inj != nil {
 			if ferr := inj.OpenFault(path); ferr != nil {
 				cum.FaultsInjected++
@@ -107,7 +133,7 @@ func Open(path string) (*Reader, error) {
 		if ferr != nil {
 			return fmt.Errorf("dasf: %w", ferr)
 		}
-		rr := &Reader{f: f, path: path, inj: inj, retry: pol}
+		rr := &Reader{f: f, path: path, ctx: ctx, inj: inj, retry: pol}
 		rr.stats.Opens++
 		if perr := rr.parseInfo(path); perr != nil {
 			cum.Add(rr.stats)
@@ -130,7 +156,12 @@ func Open(path string) (*Reader, error) {
 // ReadInfo parses a file's metadata and closes it again. Convenience for
 // search and VCA construction, which never need the data.
 func ReadInfo(path string) (Info, IOStats, error) {
-	r, err := Open(path)
+	return ReadInfoContext(context.Background(), path)
+}
+
+// ReadInfoContext is ReadInfo bound to a context (see OpenContext).
+func ReadInfoContext(ctx context.Context, path string) (Info, IOStats, error) {
+	r, err := OpenContext(ctx, path)
 	if err != nil {
 		return Info{}, IOStats{}, err
 	}
@@ -350,7 +381,7 @@ func (r *Reader) PerChannelMeta() ([]Meta, error) {
 	}
 	length := r.info.DataOffset - r.info.PerChannelOffset
 	buf := make([]byte, length)
-	attempts, err := r.retry.Do(func() error {
+	attempts, err := r.retry.DoContext(r.ctx, func() error {
 		if _, rerr := r.readAt(buf, r.info.PerChannelOffset); rerr != nil {
 			return fmt.Errorf("dasf: %s: %w", r.info.Path, rerr)
 		}
@@ -391,7 +422,7 @@ func (r *Reader) ReadSlab(chLo, chHi, tLo, tHi int) (*Array2D, error) {
 			r.info.Path, chLo, chHi, tLo, tHi, nch, nt)
 	}
 	out := NewArray2D(chHi-chLo, tHi-tLo)
-	attempts, err := r.retry.Do(func() error {
+	attempts, err := r.retry.DoContext(r.ctx, func() error {
 		return r.readSlabOnce(out, chLo, chHi, tLo, tHi)
 	})
 	r.stats.Retries += int64(attempts - 1)

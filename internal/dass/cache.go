@@ -58,7 +58,7 @@ type BadFile struct {
 // The returned catalog's Trace shows only the I/O actually performed.
 // Unreadable files abort the scan with an error.
 func ScanDirCached(dir string) (*Catalog, error) {
-	c, _, err := scanDirCached(dir, false)
+	c, _, err := scanDirCached(dir, false, nil)
 	return c, err
 }
 
@@ -67,10 +67,19 @@ func ScanDirCached(dir string) (*Catalog, error) {
 // scan, and are not recorded in the index (so the next scan retries them —
 // the right behaviour for a file still being copied in).
 func ScanDirCachedTolerant(dir string) (*Catalog, []BadFile, error) {
-	return scanDirCached(dir, true)
+	return scanDirCached(dir, true, nil)
 }
 
-func scanDirCached(dir string, tolerant bool) (*Catalog, []BadFile, error) {
+// ScanDirCachedTolerantSkip is ScanDirCachedTolerant with a skip hook: a
+// file for which skip(path) returns true is treated as absent — not probed,
+// not cataloged, not reported bad. This is how an ingester's quarantine
+// list circuit-breaks a poisoned file out of the scan path instead of
+// paying its read failure on every poll.
+func ScanDirCachedTolerantSkip(dir string, skip func(path string) bool) (*Catalog, []BadFile, error) {
+	return scanDirCached(dir, true, skip)
+}
+
+func scanDirCached(dir string, tolerant bool, skip func(path string) bool) (*Catalog, []BadFile, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dass: %w", err)
@@ -99,6 +108,9 @@ func scanDirCached(dir string, tolerant bool) (*Catalog, []BadFile, error) {
 	seen := map[string]bool{}
 	for _, de := range des {
 		if de.IsDir() || !strings.HasSuffix(de.Name(), ".dasf") {
+			continue
+		}
+		if skip != nil && skip(filepath.Join(dir, de.Name())) {
 			continue
 		}
 		fi, err := de.Info()

@@ -1,0 +1,108 @@
+package dass
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dassa/internal/dasf"
+	"dassa/internal/faults"
+	"dassa/internal/mpi"
+	"dassa/internal/testutil/leakcheck"
+)
+
+// The cancellation suite proves the tentpole property end to end at the
+// storage layer: a context cancelled mid-read unwinds every rank through
+// the poison cascade, the world drains with no goroutine left behind, and
+// the error that surfaces is the context error itself — never a silently
+// NaN-degraded result, whatever the FailPolicy.
+
+// TestCancelMidCollectiveRead cancels a multi-rank comm-avoiding read
+// while every rank is parked in an injected straggler delay. All ranks
+// must unwind promptly and the surfaced error must be context.Canceled.
+func TestCancelMidCollectiveRead(t *testing.T) {
+	leakcheck.Check(t)
+	v, _, _ := chaosView(t)
+	installChaos(t, faults.Config{Seed: 3, SlowProb: 1, SlowLatency: 30 * time.Second}, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond) // let the ranks reach their reads
+		cancel()
+	}()
+	defer cancel()
+	cv := v.WithContext(ctx)
+
+	t0 := time.Now()
+	// FailDegrade on purpose: cancellation must NOT be maskable into NaN
+	// gaps the way a lost file is.
+	_, err := mpi.Run(8, func(c *mpi.Comm) {
+		ReadCommAvoidingPolicy(c, cv, FailDegrade)
+	})
+	if err == nil {
+		t.Fatal("cancelled collective read returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("cancelled read took %v to unwind; straggler delay not interruptible", d)
+	}
+}
+
+// TestDeadlineExceededSurfaces runs the collective-per-file reader against
+// an already-expired deadline: the pre-read cancellation checks must stop
+// it before any I/O and surface context.DeadlineExceeded.
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	leakcheck.Check(t)
+	_, cat, _ := makeSeries(t, 16, 3)
+	v, err := ViewOver(cat.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	cv := v.WithContext(ctx)
+
+	_, runErr := mpi.Run(4, func(c *mpi.Comm) {
+		ReadCollectivePerFilePolicy(c, cv, FailDegrade)
+	})
+	if !errors.Is(runErr, context.DeadlineExceeded) {
+		t.Fatalf("error does not unwrap to context.DeadlineExceeded: %v", runErr)
+	}
+
+	// The serial path returns rather than panics.
+	if _, _, _, err := cv.ReadPolicy(FailDegrade); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("serial ReadPolicy: %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCancelRespectsRetryBackoff: a retry policy sleeping between attempts
+// must abandon the sleep the moment the context dies, and the context error
+// must not be classified as transient (DeadlineExceeded implements
+// Timeout() == true — the trap this test pins down).
+func TestCancelRespectsRetryBackoff(t *testing.T) {
+	leakcheck.Check(t)
+	dir, cat, _ := makeSeries(t, 8, 1)
+	_ = dir
+	installChaos(t, faults.Config{Seed: 5, TransientProb: 1, MaxTransient: 100}, 50)
+	dasf.SetRetryPolicy(faults.RetryPolicy{MaxAttempts: 50, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second})
+
+	v, err := ViewOver(cat.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	t0 := time.Now()
+	_, _, _, rerr := v.WithContext(ctx).ReadPolicy(FailAbort)
+	if !IsCancellation(rerr) {
+		t.Fatalf("read under dead ctx and transient faults returned %v, want cancellation", rerr)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("cancelled retry loop took %v; backoff sleep not interruptible", d)
+	}
+}

@@ -158,10 +158,20 @@ func (c *Catalog) SearchRange(start, end int64) []Entry {
 	return out
 }
 
+// maxSearchPattern bounds a SearchRegex pattern. Timestamps are 12 digits;
+// any legitimate selector is far shorter than this, while an unbounded
+// pattern lets one request make regexp.Compile build an arbitrarily large
+// machine (the pattern reaches dassd's /search straight off the wire).
+const maxSearchPattern = 256
+
 // SearchRegex implements das_search -e <pattern>: entries whose 12-digit
 // timestamp string matches the (anchored) pattern. The paper's example
 // `das_search -e 170728224[567]10` selects three specific minutes.
 func (c *Catalog) SearchRegex(pattern string) ([]Entry, error) {
+	if len(pattern) > maxSearchPattern {
+		return nil, fmt.Errorf("dass: search pattern of %d bytes exceeds the %d-byte limit",
+			len(pattern), maxSearchPattern)
+	}
 	re, err := regexp.Compile("^(?:" + pattern + ")$")
 	if err != nil {
 		return nil, fmt.Errorf("dass: bad search pattern: %w", err)

@@ -149,6 +149,12 @@ func ReadCollectivePerFilePolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block
 	var local pfs.Trace
 	var gaps []Gap
 	for _, sp := range v.memberSpans() {
+		// File boundaries are the collective's natural cancellation points:
+		// every rank hits the same check before the same broadcast, so the
+		// world panics together and mpi.Run drains it without deadlock.
+		if err := v.Context().Err(); err != nil {
+			panic(fmt.Errorf("dass: collective read: %w", err))
+		}
 		root := sp.idx % p
 		var flat []float64
 		width := sp.tHi - sp.tLo
@@ -157,7 +163,7 @@ func ReadCollectivePerFilePolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block
 			part, err := v.readMemberSpan(sp, &local)
 			v.ObserveSpan(c.Rank(), obs.PhaseRead, time.Since(tRead))
 			if err != nil {
-				if policy == FailAbort {
+				if policy == FailAbort || IsCancellation(err) {
 					panic(fmt.Errorf("dass: collective read: %w", err))
 				}
 				part = dasf.NewArray2D(nch, width)
@@ -210,6 +216,12 @@ func ReadCommAvoidingPolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs
 	spans := v.memberSpans()
 	rounds := (len(spans) + p - 1) / p
 	for r := 0; r < rounds; r++ {
+		// Exchange-round boundaries are the halo-exchange cancellation
+		// points: all ranks observe the same check before the round's
+		// Alltoallv, so a cancelled world aborts in lockstep.
+		if err := v.Context().Err(); err != nil {
+			panic(fmt.Errorf("dass: comm-avoiding read: %w", err))
+		}
 		myIdx := r*p + rank
 		var mine *dasf.Array2D
 		if myIdx < len(spans) {
@@ -218,7 +230,7 @@ func ReadCommAvoidingPolicy(c *mpi.Comm, v *View, policy FailPolicy) (Block, pfs
 			part, err := v.readMemberSpan(sp, &local)
 			v.ObserveSpan(rank, obs.PhaseRead, time.Since(tRead))
 			if err != nil {
-				if policy == FailAbort {
+				if policy == FailAbort || IsCancellation(err) {
 					panic(fmt.Errorf("dass: comm-avoiding read: %w", err))
 				}
 				width := sp.tHi - sp.tLo

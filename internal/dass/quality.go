@@ -1,6 +1,7 @@
 package dass
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -199,6 +200,14 @@ func fillNaN(out *dasf.Array2D, chLo, chHi, tLo, tHi int) {
 	}
 }
 
+// IsCancellation reports whether err stems from a cancelled or expired
+// context. Cancellation is categorically different from a bad member:
+// FailDegrade masks bad members and carries on, but a cancellation must
+// abort the read under either policy — the caller asked for the stop.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // classifyMemberErr wraps a member read failure with the right sentinel so
 // callers can branch with errors.Is.
 func classifyMemberErr(path string, err error) error {
@@ -217,7 +226,7 @@ func classifyMemberErr(path string, err error) error {
 func (v *View) readMemberSpan(sp memberSpan, tr *pfs.Trace) (*dasf.Array2D, error) {
 	path := v.memberPath(sp.idx)
 	if v.slab != nil {
-		part, st, err := v.slab(path, v.chLo, v.chHi, sp.tLo, sp.tHi)
+		part, st, err := v.slab(v.Context(), path, v.chLo, v.chHi, sp.tLo, sp.tHi)
 		addStats(tr, st)
 		if err != nil {
 			tr.Faults++
@@ -225,7 +234,7 @@ func (v *View) readMemberSpan(sp memberSpan, tr *pfs.Trace) (*dasf.Array2D, erro
 		}
 		return part, nil
 	}
-	r, err := dasf.Open(path)
+	r, err := dasf.OpenContext(v.Context(), path)
 	if err != nil {
 		tr.Faults++
 		return nil, classifyMemberErr(path, err)

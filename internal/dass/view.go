@@ -1,6 +1,7 @@
 package dass
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,14 +27,20 @@ type View struct {
 	// parallel readers — the hook behind the paper's read/exchange/compute
 	// breakdown (see WithSpans).
 	spans *obs.Spans
+	// ctx, when non-nil, bounds every read issued through the view: member
+	// opens, slab reads, retry backoff, and the parallel readers' rank
+	// loops all honor its cancellation (see WithContext).
+	ctx context.Context
 }
 
 // SlabReaderFunc reads the hyperslab [chLo,chHi)×[tLo,tHi) of one physical
 // member file, returning the data and the physical I/O actually performed
-// (zero stats for a cache hit). Implementations must be safe for concurrent
-// use: the parallel readers call the hook from many goroutines at once. The
-// returned array may be shared between callers and must not be modified.
-type SlabReaderFunc func(path string, chLo, chHi, tLo, tHi int) (*dasf.Array2D, dasf.IOStats, error)
+// (zero stats for a cache hit). ctx is the requesting view's context (never
+// nil); implementations must abandon the read when it is cancelled and
+// return its error. Implementations must be safe for concurrent use: the
+// parallel readers call the hook from many goroutines at once. The returned
+// array may be shared between callers and must not be modified.
+type SlabReaderFunc func(ctx context.Context, path string, chLo, chHi, tLo, tHi int) (*dasf.Array2D, dasf.IOStats, error)
 
 // WithSlabReader returns a copy of the view whose member reads go through
 // fn instead of opening files directly. Subsets of the returned view keep
@@ -52,6 +59,27 @@ func (v *View) WithSpans(s *obs.Spans) *View {
 	cp := *v
 	cp.spans = s
 	return &cp
+}
+
+// WithContext returns a copy of the view bound to ctx: every read issued
+// through the copy — and through subsets of it — honors the context's
+// cancellation and deadline. A cancelled read always surfaces the context's
+// error, even under FailDegrade: a half-cancelled request must fail loudly,
+// never masquerade as a degraded-but-complete result. A nil ctx restores
+// the unbounded default.
+func (v *View) WithContext(ctx context.Context) *View {
+	cp := *v
+	cp.ctx = ctx
+	return &cp
+}
+
+// Context returns the context the view is bound to (context.Background()
+// when unbound). Never nil.
+func (v *View) Context() context.Context {
+	if v.ctx == nil {
+		return context.Background()
+	}
+	return v.ctx
 }
 
 // ObserveSpan records d under phase p for rank. Safe on views without a
@@ -206,7 +234,8 @@ func (v *View) Read() (*dasf.Array2D, pfs.Trace, error) {
 // ReadPolicy is Read with an explicit fail policy. Under FailDegrade a
 // member that stays bad after retries is masked with NaN over its time span
 // (all view channels) and reported as a Gap in view-relative coordinates;
-// the error return is then always nil.
+// the error return is then always nil — except for cancellation, which is
+// returned as an error under either policy (see WithContext).
 func (v *View) ReadPolicy(policy FailPolicy) (*dasf.Array2D, pfs.Trace, []Gap, error) {
 	var tr pfs.Trace
 	tr.Processes = 1
@@ -214,9 +243,12 @@ func (v *View) ReadPolicy(policy FailPolicy) (*dasf.Array2D, pfs.Trace, []Gap, e
 	out := dasf.NewArray2D(nch, nt)
 	var gaps []Gap
 	for _, sp := range v.memberSpans() {
+		if err := v.Context().Err(); err != nil {
+			return nil, tr, nil, err
+		}
 		part, err := v.readMemberSpan(sp, &tr)
 		if err != nil {
-			if policy == FailAbort {
+			if policy == FailAbort || IsCancellation(err) {
 				return nil, tr, nil, err
 			}
 			width := sp.tHi - sp.tLo

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 
 	"dassa/internal/arrayudf"
@@ -118,6 +119,15 @@ func (p StackingParams) PrepareStackedMasterFromView(v *dass.View) (*StackedMast
 // array never materializes globally, which is the memory point of doing
 // stacking inside the UDF.
 func (p StackingParams) StackedUDF(master *StackedMaster) func(s *arrayudf.Stencil) []float64 {
+	return p.StackedUDFContext(context.Background(), master)
+}
+
+// StackedUDFContext is StackedUDF bound to a context: cancellation is
+// checked at window boundaries, the stacking engine's natural tile — one
+// window is one filter+FFT correlation, heavy enough that per-window checks
+// cost nothing and a cancelled run stops within one window's work. The
+// panic unwinds through the thread team and mpi.Run as the context's error.
+func (p StackingParams) StackedUDFContext(ctx context.Context, master *StackedMaster) func(s *arrayudf.Stencil) []float64 {
 	rowLen := p.StackedRowLen()
 	hop := p.WindowSamples - p.OverlapSamples
 	return func(s *arrayudf.Stencil) []float64 {
@@ -128,6 +138,9 @@ func (p StackingParams) StackedUDF(master *StackedMaster) func(s *arrayudf.Stenc
 			return stack
 		}
 		for w := 0; w < nw; w++ {
+			if err := ctx.Err(); err != nil {
+				panic(fmt.Errorf("detect: stacked correlate: %w", err))
+			}
 			series, err := p.Preprocess(raw[w*hop : w*hop+p.WindowSamples])
 			if err != nil {
 				panic(fmt.Errorf("detect: stacked preprocess: %w", err))

@@ -13,6 +13,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -44,6 +45,13 @@ var (
 // them only burns the budget.
 func IsTransient(err error) bool {
 	if err == nil {
+		return false
+	}
+	// Cancellation is permanent by definition: the caller gave up, so
+	// retrying only delays the unwind. This check must precede the
+	// interface probes below — context.DeadlineExceeded implements
+	// Timeout() == true and would otherwise be classified as retryable.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	if errors.Is(err, ErrTransient) {

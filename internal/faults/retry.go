@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -75,6 +76,17 @@ func WithRetries(n int) RetryPolicy {
 // number of attempts made and op's final error. Permanent errors (anything
 // IsTransient rejects) are returned immediately.
 func (p RetryPolicy) Do(op func() error) (attempts int, err error) {
+	return p.DoContext(context.Background(), op)
+}
+
+// DoContext is Do bound to a context: cancellation is honored between
+// attempts and during backoff sleeps, so a stuck retry loop unwinds as soon
+// as the caller gives up. A context that is already dead returns its error
+// without running op; a context that dies mid-backoff cuts the sleep short
+// and returns ctx.Err() wrapping the last attempt's failure. Context errors
+// are permanent by definition — IsTransient rejects them — so an op that
+// surfaces one is never retried.
+func (p RetryPolicy) DoContext(ctx context.Context, op func() error) (attempts int, err error) {
 	maxAtt := p.MaxAttempts
 	if maxAtt < 1 {
 		maxAtt = 1
@@ -91,6 +103,9 @@ func (p RetryPolicy) Do(op func() error) (attempts int, err error) {
 	if jitter <= 0 {
 		jitter = 0.2
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, cerr
+	}
 	start := time.Now()
 	for attempts = 1; ; attempts++ {
 		err = op()
@@ -106,7 +121,16 @@ func (p RetryPolicy) Do(op func() error) (attempts int, err error) {
 			sleep = p.Budget.take(sleep)
 		}
 		if sleep > 0 {
-			time.Sleep(sleep)
+			t := time.NewTimer(sleep)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return attempts, fmt.Errorf("%w (after %d attempts, last error: %w)", ctx.Err(), attempts, err)
+			case <-t.C:
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			// Budget-exhausted back-to-back retries still honor cancellation.
+			return attempts, fmt.Errorf("%w (after %d attempts, last error: %w)", cerr, attempts, err)
 		}
 		delay = min(delay*2, maxDelay)
 	}

@@ -207,6 +207,12 @@ func (e *Engine) RunRows(v *dass.View, w RowsWorkload, outPath string) (Report, 
 			shared, sharedBytes, prepTr = w.Prepare(c, v)
 		}
 		out := ApplyRowsMT(team, blk, w.RowLen, func(s *arrayudf.Stencil) []float64 {
+			// One UDF call is one channel — the row engine's tile. The
+			// panic unwinds through the omp team to the rank, and through
+			// mpi.Run to the caller as the context's error.
+			if err := v.Context().Err(); err != nil {
+				panic(fmt.Errorf("haee: rows compute: %w", err))
+			}
 			return w.UDF(s, shared)
 		})
 		return out, sharedBytes, prepTr
@@ -223,7 +229,18 @@ func (e *Engine) RunPoints(v *dass.View, w PointsWorkload, outPath string) (Repo
 	}
 	_, nt := v.Shape()
 	return e.run(v, w.Spec, outPath, func(c *mpi.Comm, team *omp.Team, blk arrayudf.Block) (*dasf.Array2D, int64, pfs.Trace) {
-		return ApplyMT(team, blk, w.Spec, nt, w.UDF), 0, pfs.Trace{}
+		udf := func(s *arrayudf.Stencil) float64 {
+			// Check once per channel row (the first strided cell), not per
+			// cell — cancellation latency stays one row, the hot loop stays
+			// hot.
+			if s.T() == 0 {
+				if err := v.Context().Err(); err != nil {
+					panic(fmt.Errorf("haee: points compute: %w", err))
+				}
+			}
+			return w.UDF(s)
+		}
+		return ApplyMT(team, blk, w.Spec, nt, udf), 0, pfs.Trace{}
 	})
 }
 
@@ -245,13 +262,23 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 	spans := obs.NewSpans(worldSize)
 	v = v.WithSpans(spans)
 	var runErr error
+	// cancelled panics the rank with the view context's error at a phase
+	// boundary; mpi.Run unwraps it so callers see context.Canceled /
+	// DeadlineExceeded via errors.Is.
+	cancelled := func(phase string) {
+		if err := v.Context().Err(); err != nil {
+			panic(fmt.Errorf("haee: %s: %w", phase, err))
+		}
+	}
 	_, err := mpi.Run(worldSize, func(c *mpi.Comm) {
 		team := omp.NewTeam(threads)
 
+		cancelled("load")
 		t0 := time.Now()
 		blk, readTr, quality := arrayudf.LoadBlock(c, v, spec)
 		readSec := time.Since(t0).Seconds()
 
+		cancelled("compute")
 		t0 = time.Now()
 		out, sharedBytes, prepTr := compute(c, team, blk)
 		computeDur := time.Since(t0)
@@ -288,6 +315,7 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 		// (every rank stores its own rows — the single-shared-file pattern
 		// whose cost Figure 8 shows is identical between the two modes),
 		// then gather a copy on rank 0 for the report.
+		cancelled("write")
 		t0 = time.Now()
 		var writeTr pfs.Trace
 		if outPath != "" && !oom {

@@ -139,3 +139,38 @@ func TestSeriesCapConcurrent(t *testing.T) {
 		t.Fatalf("increments lost under cap: total %d, want %d", total, 8*200)
 	}
 }
+
+// TestOverflowTelemetry: hitting a family's cap must itself be observable —
+// per-family counts via OverflowCounts and a synthetic
+// dassa_metrics_overflow_total{family=...} series in the exposition.
+func TestOverflowTelemetry(t *testing.T) {
+	r := NewRegistry()
+	r.SetSeriesLimit(2)
+	for i := 0; i < 5; i++ {
+		r.Counter("exploding_total", "exploding", L("v", fmt.Sprintf("%d", i))).Inc()
+	}
+	r.Counter("bounded_total", "bounded", L("route", "/read")).Inc()
+
+	ov := r.OverflowCounts()
+	if len(ov) != 1 || ov["exploding_total"] != 3 {
+		t.Fatalf("OverflowCounts = %v, want exploding_total:3 only", ov)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `dassa_metrics_overflow_total{family="exploding_total"} 3`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+	}
+	if strings.Contains(sb.String(), `family="bounded_total"`) {
+		t.Fatal("healthy family reported as overflowed")
+	}
+
+	// The synthetic family also lands in the expvar snapshot.
+	snap := r.Snapshot()
+	if v, ok := snap[`dassa_metrics_overflow_total{family="exploding_total"}`]; !ok || v.(float64) != 3 {
+		t.Fatalf("snapshot overflow sample = %v (present=%v)", v, ok)
+	}
+}

@@ -168,6 +168,11 @@ type family struct {
 	help  string
 	kind  kind
 	count int // live series in this family, overflow included
+	// overflowed counts registrations collapsed into the overflow series —
+	// the runtime evidence that some label value is unbounded. Exposed as
+	// dassa_metrics_overflow_total{family=...} so a cap being hit is itself
+	// observable instead of silently flattening one family's resolution.
+	overflowed int64
 }
 
 // Registry holds metric families and their series. All methods are safe for
@@ -266,6 +271,7 @@ func (r *Registry) register(name, help string, k kind, labels []Label) *series {
 		return s
 	}
 	if f.count >= r.limit {
+		f.overflowed++
 		lb = renderLabels(overflowLabels)
 		key = seriesKey(name, lb)
 		if s, ok := r.series[key]; ok {
@@ -336,6 +342,21 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 		s.hist = &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
 	}
 	return s.hist
+}
+
+// OverflowCounts reports, per family name, how many registrations were
+// collapsed into that family's overflow series. An empty map means every
+// family stayed under the cap — the healthy state.
+func (r *Registry) OverflowCounts() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := map[string]int64{}
+	for name, f := range r.families {
+		if f.overflowed > 0 {
+			out[name] = f.overflowed
+		}
+	}
+	return out
 }
 
 // value reads a scalar series (counter or gauge, direct or func-backed).

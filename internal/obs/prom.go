@@ -47,6 +47,29 @@ func (r *Registry) snapshotFamilies() []famSnap {
 		}
 		fs.samples = append(fs.samples, sm)
 	}
+	// Overflow self-telemetry: one synthetic series per family that has
+	// collapsed registrations. Appended after the byName pointers are done
+	// being used (append may reallocate out). The family label is bounded
+	// by the set of registered family names, not by any request input.
+	var ov []sample
+	for name, f := range r.families {
+		if f.overflowed > 0 {
+			ov = append(ov, sample{
+				labels: renderLabels([]Label{{Key: "family", Value: name}}),
+				value:  float64(f.overflowed),
+			})
+		}
+	}
+	if len(ov) > 0 {
+		out = append(out, famSnap{
+			family: family{
+				name: "dassa_metrics_overflow_total",
+				help: "metric registrations collapsed into a family's overflow series",
+				kind: kindCounter,
+			},
+			samples: ov,
+		})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	for i := range out {
 		ss := out[i].samples

@@ -8,6 +8,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -104,39 +105,63 @@ func (c *BlockCache) shard(k BlockKey) *cacheShard {
 // load) rather than this caller's own loader run. The returned IOStats are
 // zero on a hit — the physical read already happened.
 func (c *BlockCache) Get(key BlockKey, load func() (*dasf.Array2D, dasf.IOStats, error)) (*dasf.Array2D, dasf.IOStats, bool, error) {
+	return c.GetContext(context.Background(), key, load)
+}
+
+// GetContext is Get bound to the caller's context. A waiter piggybacking on
+// an in-flight load stops waiting when its own context dies. And because the
+// in-flight loader runs under *its* requester's context, a flight that
+// resolves with a cancellation error says nothing about this caller's block
+// — the waiter re-runs the load under its own (still live) context instead
+// of inheriting a stranger's cancellation.
+func (c *BlockCache) GetContext(ctx context.Context, key BlockKey, load func() (*dasf.Array2D, dasf.IOStats, error)) (*dasf.Array2D, dasf.IOStats, bool, error) {
 	s := c.shard(key)
-	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		s.ll.MoveToFront(el)
-		data := el.Value.(*cacheEntry).data
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, dasf.IOStats{}, false, err
+		}
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			s.ll.MoveToFront(el)
+			data := el.Value.(*cacheEntry).data
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return data, dasf.IOStats{}, true, nil
+		}
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			c.waiting.Add(1)
+			select {
+			case <-fl.done:
+				c.waiting.Add(-1)
+				if fl.err != nil && dass.IsCancellation(fl.err) {
+					// The loader's request was cancelled, not ours: retry.
+					continue
+				}
+				c.coalesced.Add(1)
+				return fl.data, dasf.IOStats{}, true, fl.err
+			case <-ctx.Done():
+				c.waiting.Add(-1)
+				return nil, dasf.IOStats{}, false, ctx.Err()
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.inflight[key] = fl
 		s.mu.Unlock()
-		c.hits.Add(1)
-		return data, dasf.IOStats{}, true, nil
-	}
-	if fl, ok := s.inflight[key]; ok {
+
+		c.misses.Add(1)
+		data, st, err := load()
+		fl.data, fl.err = data, err
+		close(fl.done)
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil {
+			c.insertLocked(s, key, data)
+		}
 		s.mu.Unlock()
-		c.waiting.Add(1)
-		<-fl.done
-		c.waiting.Add(-1)
-		c.coalesced.Add(1)
-		return fl.data, dasf.IOStats{}, true, fl.err
+		return data, st, false, err
 	}
-	fl := &flight{done: make(chan struct{})}
-	s.inflight[key] = fl
-	s.mu.Unlock()
-
-	c.misses.Add(1)
-	data, st, err := load()
-	fl.data, fl.err = data, err
-	close(fl.done)
-
-	s.mu.Lock()
-	delete(s.inflight, key)
-	if err == nil {
-		c.insertLocked(s, key, data)
-	}
-	s.mu.Unlock()
-	return data, st, false, err
 }
 
 func (c *BlockCache) insertLocked(s *cacheShard, key BlockKey, data *dasf.Array2D) {
@@ -206,10 +231,10 @@ func (c *BlockCache) Stats() CacheStats {
 // route through Get, so hot blocks cost one disk read however many queries
 // want them.
 func (c *BlockCache) SlabReader() dass.SlabReaderFunc {
-	return func(path string, chLo, chHi, tLo, tHi int) (*dasf.Array2D, dasf.IOStats, error) {
+	return func(ctx context.Context, path string, chLo, chHi, tLo, tHi int) (*dasf.Array2D, dasf.IOStats, error) {
 		key := BlockKey{Path: path, ChLo: chLo, ChHi: chHi, TLo: tLo, THi: tHi}
-		data, st, _, err := c.Get(key, func() (*dasf.Array2D, dasf.IOStats, error) {
-			r, err := dasf.Open(path)
+		data, st, _, err := c.GetContext(ctx, key, func() (*dasf.Array2D, dasf.IOStats, error) {
+			r, err := dasf.OpenContext(ctx, path)
 			if err != nil {
 				return nil, dasf.IOStats{}, err
 			}

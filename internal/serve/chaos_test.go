@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dassa/internal/dasf"
+	"dassa/internal/faults"
+	"dassa/internal/testutil/leakcheck"
+)
+
+// The serve chaos suite proves the daemon's enforcement half of the
+// cancellation tentpole: a request deadline (or a vanished client) aborts a
+// running multi-rank query at its next cancellation point, maps onto
+// 504/499 instead of a degraded 200, and leaves no goroutine behind; a
+// poisoned file is circuit-broken out of the catalog after N failed scans
+// and readmitted after a clean re-probe.
+
+// slowInjector makes every physical read hang for lat (interruptibly — the
+// straggler delay selects on the request context), and removes itself when
+// the test ends.
+func slowInjector(t *testing.T, lat time.Duration) {
+	t.Helper()
+	dasf.SetInjector(faults.New(faults.Config{Seed: 1, SlowProb: 1, SlowLatency: lat}))
+	t.Cleanup(func() { dasf.SetInjector(nil) })
+}
+
+// TestDetectDeadlineCancelsMidRead is the acceptance test: a multi-rank
+// /detect whose every read stalls on injected straggler latency must come
+// back 504 within 2× the request deadline, count itself in the cancelled
+// metric, and leak nothing.
+func TestDetectDeadlineCancelsMidRead(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	for _, p := range stageFiles(t, 3) {
+		arrive(t, dir, p)
+	}
+
+	const deadline = time.Second
+	s := NewServer(Config{
+		Ingest:         IngestConfig{Dir: dir, Poll: time.Hour},
+		RequestTimeout: deadline,
+		Nodes:          2,
+		CoresPerNode:   2,
+	})
+	// Catalog first (metadata reads must stay fast), stall reads after.
+	if err := s.Ingester().ScanOnce(); err != nil {
+		t.Fatal(err)
+	}
+	slowInjector(t, 30*time.Second)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	t0 := time.Now()
+	resp := getJSON(t, ts, "/detect?op=localsimi", nil)
+	elapsed := time.Since(t0)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled /detect returned %d, want 504", resp.StatusCode)
+	}
+	if elapsed > 2*deadline {
+		t.Fatalf("stalled /detect took %v, want within 2x the %v deadline", elapsed, deadline)
+	}
+	if n := s.cancelled.Load(); n < 1 {
+		t.Fatalf("dassa_requests_cancelled_total = %d, want >= 1", n)
+	}
+	// The cancellation never degrades: no gap accounting may have happened.
+	if d := s.quality.degraded.Load(); d != 0 {
+		t.Fatalf("cancelled request recorded %d degraded reads; cancellation was masked", d)
+	}
+}
+
+// TestReadClientDisconnectCancels: the client walking away mid-/read must
+// cancel the request (server-side 499 path) and leak nothing.
+func TestReadClientDisconnectCancels(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	for _, p := range stageFiles(t, 2) {
+		arrive(t, dir, p)
+	}
+	s := newTestServer(t, dir)
+	if err := s.Ingester().ScanOnce(); err != nil {
+		t.Fatal(err)
+	}
+	slowInjector(t, 30*time.Second)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond) // let the read reach the stall
+		cancel()
+	}()
+	if resp, err := ts.Client().Do(req); err == nil {
+		// The transport may deliver the server's 499 before noticing the
+		// cancel; either way the request must not have succeeded.
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("cancelled /read returned 200")
+		}
+	}
+	// The handler unwinds asynchronously from the client's point of view.
+	deadlineAt := time.Now().Add(5 * time.Second)
+	for s.cancelled.Load() < 1 {
+		if time.Now().After(deadlineAt) {
+			t.Fatal("server never counted the disconnected request as cancelled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a handler panic becomes a 500 with the
+// panic counted, not a killed connection.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	leakcheck.Check(t)
+	s := newTestServer(t, t.TempDir())
+	h := s.instrument("/detect", s.recovered(func(http.ResponseWriter, *http.Request) {
+		panic("boom for test")
+	}))
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/detect", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal error") {
+		t.Fatalf("500 body leaks or is empty: %q", rec.Body.String())
+	}
+	if n := s.panics.Load(); n != 1 {
+		t.Fatalf("dassa_panics_total = %d, want 1", n)
+	}
+}
+
+// TestQuarantineAndReadmit walks one poisoned file through the full state
+// machine: N consecutive failed scans quarantine it (it disappears from
+// bad_files and is no longer probed), failed re-probes double the backoff,
+// and one clean probe after the file is fixed readmits it to the catalog.
+func TestQuarantineAndReadmit(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	staged := stageFiles(t, 3)
+	for _, p := range staged[:2] {
+		arrive(t, dir, p)
+	}
+	// A half-copied minute: right name, garbage bytes.
+	poison := filepath.Join(dir, filepath.Base(staged[2]))
+	if err := os.WriteFile(poison, []byte("not a dasf file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewServer(Config{Ingest: IngestConfig{
+		Dir:               dir,
+		Poll:              time.Hour, // scans are driven by hand
+		QuarantineAfter:   2,
+		QuarantineBackoff: 60 * time.Millisecond,
+	}})
+	scan := func() {
+		t.Helper()
+		if err := s.Ingester().ScanOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Scan 1: first failure — still just a bad file.
+	scan()
+	if q := s.Ingester().Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantined after 1 failure: %+v", q)
+	}
+	if bad := s.Ingester().BadFiles(); len(bad) != 1 {
+		t.Fatalf("bad files after scan 1: %d, want 1", len(bad))
+	}
+
+	// Scan 2: second consecutive failure crosses QuarantineAfter.
+	scan()
+	q := s.Ingester().Quarantined()
+	if len(q) != 1 || q[0].Path != poison || q[0].Fails != 2 {
+		t.Fatalf("after 2 failures: %+v, want %s quarantined with 2 fails", q, poison)
+	}
+	if st := s.Ingester().Stats(); st.QuarantinedFiles != 1 || st.QuarantineEvents != 1 {
+		t.Fatalf("stats after quarantine: %+v", st)
+	}
+
+	// While quarantined and inside the backoff window the file is skipped
+	// entirely: not probed, not in bad_files, not in the catalog.
+	scan()
+	if bad := s.Ingester().BadFiles(); len(bad) != 0 {
+		t.Fatalf("quarantined file still probed: %+v", bad)
+	}
+	if n := s.Ingester().Catalog().Len(); n != 2 {
+		t.Fatalf("catalog has %d files, want the 2 healthy ones", n)
+	}
+
+	// Past the backoff the re-probe runs, fails, and doubles the backoff.
+	time.Sleep(80 * time.Millisecond)
+	scan()
+	q = s.Ingester().Quarantined()
+	if len(q) != 1 || q[0].Fails != 3 {
+		t.Fatalf("failed re-probe not recorded: %+v", q)
+	}
+
+	// /status surfaces the quarantine list.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var status struct {
+		Quarantine []QuarantinedFile `json:"quarantine"`
+	}
+	getJSON(t, ts, "/status", &status)
+	if len(status.Quarantine) != 1 || status.Quarantine[0].Path != poison {
+		t.Fatalf("/status quarantine: %+v", status.Quarantine)
+	}
+
+	// The recorder finishes delivering the file; the next due probe is
+	// clean and readmits it.
+	raw, err := os.ReadFile(staged[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(poison, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // past the doubled backoff
+	scan()
+	if q := s.Ingester().Quarantined(); len(q) != 0 {
+		t.Fatalf("fixed file still quarantined: %+v", q)
+	}
+	st := s.Ingester().Stats()
+	if st.ReadmittedFiles != 1 || st.QuarantinedFiles != 0 {
+		t.Fatalf("stats after readmission: %+v", st)
+	}
+	if n := s.Ingester().Catalog().Len(); n != 3 {
+		t.Fatalf("catalog has %d files after readmission, want 3", n)
+	}
+}
+
+// TestCancelMetricsExposed: the new counters appear on /metrics under
+// their documented names.
+func TestCancelMetricsExposed(t *testing.T) {
+	leakcheck.Check(t)
+	s := newTestServer(t, t.TempDir())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"dassa_requests_cancelled_total",
+		"dassa_panics_total",
+		"dassa_quarantined_files",
+		"dassa_quarantine_events_total",
+		"dassa_readmitted_files_total",
+	} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,17 @@ type IngestConfig struct {
 	// Dir/<LiveVCAName>, so offline tools see the same merged view the
 	// daemon serves.
 	LiveVCA bool
+	// QuarantineAfter circuit-breaks a file out of the scan path after this
+	// many consecutive failed scans: a poisoned minute stops costing a read
+	// failure on every poll and is re-probed on a backoff schedule instead.
+	// Zero disables quarantine (every scan retries every bad file — the
+	// pre-quarantine behaviour).
+	QuarantineAfter int
+	// QuarantineBackoff is the first re-probe delay after a file enters
+	// quarantine; it doubles on every failed probe (default 4×Poll).
+	QuarantineBackoff time.Duration
+	// QuarantineMaxBackoff caps the probe delay (default 5m).
+	QuarantineMaxBackoff time.Duration
 	// Log receives structured ingest events; nil silences them.
 	Log *slog.Logger
 }
@@ -46,6 +58,12 @@ type IngestStats struct {
 	BadFiles      int   `json:"bad_files"`      // skipped by the last scan
 	VCAAppends    int64 `json:"vca_appends"`
 	VCAErrors     int64 `json:"vca_errors"`
+	// QuarantinedFiles counts files currently circuit-broken out of the
+	// catalog; QuarantineEvents counts entries into quarantine and
+	// ReadmittedFiles counts clean-probe exits, over the daemon's life.
+	QuarantinedFiles int   `json:"quarantined_files"`
+	QuarantineEvents int64 `json:"quarantine_events"`
+	ReadmittedFiles  int64 `json:"readmitted_files"`
 	// LagMS is the newest ingested file's latency: time between its mtime
 	// and the scan that cataloged it. -1 until a file has been ingested.
 	LagMS int64 `json:"ingest_lag_ms"`
@@ -62,6 +80,28 @@ type fileStamp struct {
 	offset    int64
 }
 
+// quarState tracks one misbehaving file through the quarantine state
+// machine: counting (consecutive failed scans below the threshold) →
+// quarantined (skipped by scans, re-probed with exponential backoff) →
+// readmitted (one clean probe deletes the entry). Owned by the scanner.
+type quarState struct {
+	fails       int // consecutive failed scans/probes
+	quarantined bool
+	since       time.Time     // when the file entered quarantine
+	backoff     time.Duration // current probe delay
+	nextProbe   time.Time     // earliest next scan that re-reads the file
+	lastErr     string
+}
+
+// QuarantinedFile is the /status view of one quarantined file.
+type QuarantinedFile struct {
+	Path        string `json:"path"`
+	Fails       int    `json:"fails"` // consecutive failures, threshold included
+	SinceUnixMS int64  `json:"since_unix_ms"`
+	NextProbeMS int64  `json:"next_probe_unix_ms"`
+	LastErr     string `json:"last_err"`
+}
+
 // Ingester polls a directory for newly arriving DASF files and maintains
 // the live catalog the HTTP handlers query. All methods are safe for
 // concurrent use. Scans do all their filesystem work outside ing.mu
@@ -74,17 +114,21 @@ type Ingester struct {
 	log   *slog.Logger
 
 	// scanning coalesces concurrent ScanOnce calls: while one scan runs,
-	// further calls are no-ops. The scanner owns known/vcaTail/vcaSeen,
+	// further calls are no-ops. The scanner owns known/vcaTail/vcaSeen/quar,
 	// so they need no lock.
 	scanning atomic.Bool
 	known    map[string]fileStamp
 	vcaTail  int64 // newest member timestamp in the live VCA
 	vcaSeen  map[string]bool
+	quar     map[string]*quarState
 
-	mu    sync.RWMutex // guards cat, bad, stats only
-	cat   *dass.Catalog
-	bad   []dass.BadFile
-	stats IngestStats
+	mu  sync.RWMutex // guards cat, bad, quarView, stats only
+	cat *dass.Catalog
+	bad []dass.BadFile
+	// quarView is the published snapshot of the quarantine list, rebuilt by
+	// the scanner each cycle (the live map is scanner-owned).
+	quarView []QuarantinedFile
+	stats    IngestStats
 }
 
 // NewIngester builds an ingester over dir. cache may be nil (no
@@ -93,6 +137,12 @@ func NewIngester(cfg IngestConfig, cache *BlockCache) *Ingester {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 2 * time.Second
 	}
+	if cfg.QuarantineBackoff <= 0 {
+		cfg.QuarantineBackoff = 4 * cfg.Poll
+	}
+	if cfg.QuarantineMaxBackoff <= 0 {
+		cfg.QuarantineMaxBackoff = 5 * time.Minute
+	}
 	return &Ingester{
 		cfg:     cfg,
 		cache:   cache,
@@ -100,6 +150,7 @@ func NewIngester(cfg IngestConfig, cache *BlockCache) *Ingester {
 		cat:     dass.CatalogOf(nil),
 		known:   map[string]fileStamp{},
 		vcaSeen: map[string]bool{},
+		quar:    map[string]*quarState{},
 	}
 }
 
@@ -131,11 +182,12 @@ func (ing *Ingester) ScanOnce() error {
 	defer ing.scanning.Store(false)
 
 	t0 := time.Now()
-	cat, bad, err := dass.ScanDirCachedTolerant(ing.cfg.Dir)
+	cat, bad, err := dass.ScanDirCachedTolerantSkip(ing.cfg.Dir, ing.quarantineSkip(t0))
 	if err != nil {
 		return err
 	}
 	entries := cat.Entries()
+	quarEvents, readmitted, quarList := ing.updateQuarantine(t0, entries, bad)
 
 	// Retention: keep the newest N files in the served catalog. Trimmed
 	// files drop out of `seen` below, so the diff counts them as removed
@@ -194,6 +246,10 @@ func (ing *Ingester) ScanOnce() error {
 	ing.mu.Lock()
 	ing.cat = dass.CatalogOf(entries)
 	ing.bad = bad
+	ing.quarView = quarList
+	ing.stats.QuarantinedFiles = len(quarList)
+	ing.stats.QuarantineEvents += quarEvents
+	ing.stats.ReadmittedFiles += readmitted
 	ing.stats.Scans++
 	ing.stats.FilesIngested += ingested
 	ing.stats.FilesChanged += changed
@@ -218,6 +274,98 @@ func (ing *Ingester) ScanOnce() error {
 			"bad", len(bad), "newest", newest, "lag_ms", lag)
 	}
 	return nil
+}
+
+// quarantineSkip returns the scan's skip hook: quarantined files whose next
+// probe lies in the future are treated as absent, so a poisoned file costs
+// nothing until its backoff expires. Runs on the scanner's side of the
+// fence (quar is scanner-owned).
+func (ing *Ingester) quarantineSkip(now time.Time) func(path string) bool {
+	if ing.cfg.QuarantineAfter <= 0 {
+		return nil
+	}
+	return func(path string) bool {
+		st, ok := ing.quar[path]
+		return ok && st.quarantined && now.Before(st.nextProbe)
+	}
+}
+
+// updateQuarantine advances the quarantine state machine with one scan's
+// outcome: bad files accumulate consecutive failures and circuit-break at
+// the threshold; a quarantined file whose probe failed backs off
+// exponentially; a file that scanned clean is readmitted (its entry simply
+// dies); a file that vanished from disk is forgotten. Returns the published
+// snapshot plus this scan's entry/readmit counts.
+func (ing *Ingester) updateQuarantine(now time.Time, entries []dass.Entry, bad []dass.BadFile) (events, readmitted int64, list []QuarantinedFile) {
+	if ing.cfg.QuarantineAfter <= 0 {
+		return 0, 0, nil
+	}
+	seen := map[string]bool{}
+	for _, b := range bad {
+		seen[b.Path] = true
+		st := ing.quar[b.Path]
+		if st == nil {
+			st = &quarState{}
+			ing.quar[b.Path] = st
+		}
+		st.fails++
+		st.lastErr = b.Err.Error()
+		switch {
+		case st.quarantined:
+			// A due probe failed: double the delay, capped.
+			st.backoff = min(st.backoff*2, ing.cfg.QuarantineMaxBackoff)
+			st.nextProbe = now.Add(st.backoff)
+		case st.fails >= ing.cfg.QuarantineAfter:
+			st.quarantined = true
+			st.since = now
+			st.backoff = ing.cfg.QuarantineBackoff
+			st.nextProbe = now.Add(st.backoff)
+			events++
+			ing.log.Warn("file quarantined",
+				"path", b.Path, "fails", st.fails, "backoff", st.backoff, "err", st.lastErr)
+		}
+	}
+	for _, e := range entries {
+		if st, ok := ing.quar[e.Path]; ok {
+			// The file scanned clean — a successful probe (or a recovered
+			// transient): readmit by forgetting it.
+			if st.quarantined {
+				readmitted++
+				ing.log.Info("file readmitted", "path", e.Path, "fails", st.fails)
+			}
+			delete(ing.quar, e.Path)
+		}
+		seen[e.Path] = true
+	}
+	for path, st := range ing.quar {
+		if seen[path] || (st.quarantined && now.Before(st.nextProbe)) {
+			continue
+		}
+		// Eligible for this scan but in neither list: gone from disk.
+		delete(ing.quar, path)
+	}
+	for path, st := range ing.quar {
+		if !st.quarantined {
+			continue
+		}
+		list = append(list, QuarantinedFile{
+			Path:        path,
+			Fails:       st.fails,
+			SinceUnixMS: st.since.UnixMilli(),
+			NextProbeMS: st.nextProbe.UnixMilli(),
+			LastErr:     st.lastErr,
+		})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Path < list[j].Path })
+	return events, readmitted, list
+}
+
+// Quarantined returns the currently circuit-broken files (last scan's
+// snapshot).
+func (ing *Ingester) Quarantined() []QuarantinedFile {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	return append([]QuarantinedFile(nil), ing.quarView...)
 }
 
 // extendLiveVCA keeps Dir/live.vca.dasf covering the ingested series:

@@ -141,18 +141,43 @@ func (s *Server) registerMetrics() {
 	reg.CounterFunc("dassa_read_retries_total",
 		"storage retries spent by request reads",
 		func() float64 { return float64(s.quality.retries.Load()) })
+
+	// Cancellation, panic recovery, and quarantine.
+	reg.CounterFunc("dassa_requests_cancelled_total",
+		"requests aborted by client disconnect (499) or deadline (504)",
+		func() float64 { return float64(s.cancelled.Load()) })
+	reg.CounterFunc("dassa_panics_total",
+		"handler panics recovered into 500s",
+		func() float64 { return float64(s.panics.Load()) })
+	reg.GaugeFunc("dassa_quarantined_files",
+		"poisoned files currently circuit-broken out of the catalog",
+		func() float64 { return float64(s.ing.Stats().QuarantinedFiles) })
+	reg.CounterFunc("dassa_quarantine_events_total",
+		"files moved into quarantine over the daemon's life",
+		func() float64 { return float64(s.ing.Stats().QuarantineEvents) })
+	reg.CounterFunc("dassa_readmitted_files_total",
+		"quarantined files readmitted after a clean re-probe",
+		func() float64 { return float64(s.ing.Stats().ReadmittedFiles) })
 }
 
 // statusWriter captures the status code a handler writes, for metrics and
-// the access log.
+// the access log, and whether anything was written at all — the recovery
+// middleware must not stack a 500 on a half-sent response.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true // implicit 200 path
+	return w.ResponseWriter.Write(p)
 }
 
 // instrument wraps a route handler with latency/count metrics and one

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dassa/internal/obs"
+	"dassa/internal/testutil/leakcheck"
 )
 
 // scrape fetches /metrics and returns the Prometheus text body.
@@ -56,6 +57,7 @@ func sampleValue(t *testing.T, body, series string) float64 {
 // ingest lag, per-route latency histograms, and the degraded-read quality
 // counters — and the request/cache counters move after traffic.
 func TestMetricsEndpoint(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	for _, p := range stageFiles(t, 3) {
 		arrive(t, dir, p)
@@ -133,6 +135,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestPprofOptIn asserts profiling endpoints exist only when enabled.
 func TestPprofOptIn(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	on := NewServer(Config{Ingest: IngestConfig{Dir: dir}, EnablePprof: true})
 	off := NewServer(Config{Ingest: IngestConfig{Dir: dir}})

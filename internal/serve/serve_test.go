@@ -12,6 +12,7 @@ import (
 
 	"dassa/internal/dasf"
 	"dassa/internal/dasgen"
+	"dassa/internal/testutil/leakcheck"
 )
 
 func genCfg(files int) dasgen.Config {
@@ -77,6 +78,7 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Resp
 }
 
 func TestIngestSearchAndLiveVCA(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	staged := stageFiles(t, 6)
 	for _, p := range staged[:4] {
@@ -148,6 +150,7 @@ func TestIngestSearchAndLiveVCA(t *testing.T) {
 }
 
 func TestReadThroughCache(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	for _, p := range stageFiles(t, 3) {
 		arrive(t, dir, p)
@@ -200,6 +203,7 @@ func TestReadThroughCache(t *testing.T) {
 }
 
 func TestDetectEndpoints(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	for _, p := range stageFiles(t, 3) {
 		arrive(t, dir, p)
@@ -231,6 +235,7 @@ func TestDetectEndpoints(t *testing.T) {
 }
 
 func TestStatusFileDetail(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	staged := stageFiles(t, 2)
 	for _, p := range staged {
@@ -260,6 +265,7 @@ func TestStatusFileDetail(t *testing.T) {
 // 1 slot, 1 queue spot — the third concurrent request must shed with 429
 // and Retry-After, and the queued one must complete once the slot frees.
 func TestAdmissionControl(t *testing.T) {
+	leakcheck.Check(t)
 	s := NewServer(Config{
 		Ingest:        IngestConfig{Dir: t.TempDir()},
 		MaxConcurrent: 1,

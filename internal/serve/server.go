@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -34,6 +37,12 @@ type Config struct {
 	// DetectJobs bounds concurrently executing /detect jobs within the
 	// admitted set (default 2) — detection is the expensive workload.
 	DetectJobs int
+	// RequestTimeout bounds one query request end to end — queue wait,
+	// reads, and compute included. A request past its deadline aborts with
+	// 504 at the next cancellation point. Zero (the default) means no
+	// per-request deadline, the historical CLI-compatible behaviour; client
+	// disconnects still cancel either way via the request context.
+	RequestTimeout time.Duration
 	// Nodes/CoresPerNode size the in-process HAEE engine (defaults 1/4).
 	Nodes        int
 	CoresPerNode int
@@ -143,14 +152,16 @@ func (a *admission) stats() AdmissionStats {
 
 // Server is the dassd HTTP service: ingester + cache + handlers.
 type Server struct {
-	cfg      Config
-	ing      *Ingester
-	cache    *BlockCache
-	fw       *core.Framework
-	adm      *admission
-	jobs     chan struct{}
-	jobsDone atomic.Int64
-	start    time.Time
+	cfg       Config
+	ing       *Ingester
+	cache     *BlockCache
+	fw        *core.Framework
+	adm       *admission
+	jobs      chan struct{}
+	jobsDone  atomic.Int64
+	panics    atomic.Int64
+	cancelled atomic.Int64
+	start     time.Time
 
 	log      *slog.Logger
 	reg      *obs.Registry
@@ -196,9 +207,12 @@ func (s *Server) Cache() *BlockCache { return s.cache }
 // Handler returns the daemon's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.instrument("/search", s.admit(s.handleSearch)))
-	mux.HandleFunc("/read", s.instrument("/read", s.admit(s.handleRead)))
-	mux.HandleFunc("/detect", s.instrument("/detect", s.admit(s.handleDetect)))
+	// Query routes stack instrument → recover → timeout → admit → handler.
+	// The deadline is armed before admission so it covers queue wait too: a
+	// request that spends its whole budget queued 504s instead of running.
+	mux.HandleFunc("/search", s.instrument("/search", s.recovered(s.withTimeout(s.admit(s.handleSearch)))))
+	mux.HandleFunc("/read", s.instrument("/read", s.recovered(s.withTimeout(s.admit(s.handleRead)))))
+	mux.HandleFunc("/detect", s.instrument("/detect", s.recovered(s.withTimeout(s.admit(s.handleDetect)))))
 	// /status and /metrics stay outside admission control: they are the
 	// endpoints you use to observe overload, so they must answer during
 	// overload.
@@ -215,6 +229,12 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		release, ok := s.adm.acquire(r)
 		if !ok {
+			// A request whose context died while queued was cancelled, not
+			// shed — report it as such, not as a 429 the client should retry.
+			if err := r.Context().Err(); err != nil {
+				s.writeCancelled(w, err)
+				return
+			}
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error": "server overloaded, retry later",
@@ -224,6 +244,71 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 		defer release()
 		h(w, r)
 	}
+}
+
+// withTimeout arms Config.RequestTimeout on the request context. With the
+// timeout off this is a no-op passthrough; client disconnects already
+// cancel r.Context() either way.
+func (s *Server) withTimeout(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// recovered converts a handler panic into a 500 instead of killing the
+// connection (and, under http.Server's default recovery, hiding the cause).
+// The panic value and stack go to the structured log; the client gets a
+// generic error so internals don't leak.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			s.panics.Add(1)
+			s.log.Error("handler panic",
+				"url", r.URL.String(), "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
+				writeJSON(w, http.StatusInternalServerError, map[string]any{
+					"error": "internal error (panic recovered)",
+				})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response. There is no stdlib constant for it.
+const statusClientClosedRequest = 499
+
+// writeCancelled answers a request whose context died: 504 for a deadline
+// the server armed, 499 for a client that disconnected. Cancellation is
+// never degraded into a partial 200 — the FailPolicy layers below return
+// the context error verbatim precisely so this mapping can happen here.
+func (s *Server) writeCancelled(w http.ResponseWriter, err error) {
+	s.cancelled.Add(1)
+	code := statusClientClosedRequest
+	if errors.Is(err, context.DeadlineExceeded) {
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}
+
+// writeQueryError maps a pipeline error onto the right status: cancellation
+// → 499/504, anything else → 500.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	if dass.IsCancellation(err) {
+		s.writeCancelled(w, err)
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -366,7 +451,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	v = v.WithSlabReader(s.cache.SlabReader())
+	v = v.WithSlabReader(s.cache.SlabReader()).WithContext(r.Context())
 	nch, nt := v.Shape()
 	ch0, err := queryInt(r, "ch0", 0)
 	if err != nil {
@@ -395,7 +480,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	arr, tr, gaps, err := sub.ReadPolicy(dass.FailDegrade)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		s.writeQueryError(w, err)
 		return
 	}
 	s.quality.recordRead(tr, gaps)
@@ -447,6 +532,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	case s.jobs <- struct{}{}:
 		defer func() { <-s.jobs }()
 	case <-r.Context().Done():
+		s.writeCancelled(w, r.Context().Err())
 		return
 	}
 
@@ -455,7 +541,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	v = v.WithSlabReader(s.cache.SlabReader())
+	v = v.WithSlabReader(s.cache.SlabReader()).WithContext(r.Context())
 	rate := 0.0
 	if val, ok := entries[0].Info.Global[dasf.KeySamplingFrequency]; ok {
 		rate = float64(val.Int)
@@ -510,7 +596,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		s.writeQueryError(w, err)
 		return
 	}
 	s.jobsDone.Add(1)
@@ -567,6 +653,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"jobs": map[string]any{
 			"active": len(s.jobs), "max": cap(s.jobs), "done": s.jobsDone.Load(),
 		},
-		"bad_files": bad,
+		"bad_files":  bad,
+		"quarantine": s.ing.Quarantined(),
 	})
 }

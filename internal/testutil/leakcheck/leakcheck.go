@@ -1,0 +1,141 @@
+// Package leakcheck asserts that a test leaks no goroutines. A cancelled
+// read that strands a rank goroutine in Recv, or an abandoned collector
+// still draining a channel, passes every functional assertion and then
+// poisons whichever test runs next — so cancellation tests register this
+// check FIRST (its Cleanup then runs LAST, after the test's own servers and
+// injectors are torn down) and fail loudly if anything is still running.
+//
+//	func TestCancelMidRead(t *testing.T) {
+//		leakcheck.Check(t)
+//		// ... test body ...
+//	}
+//
+// The check snapshots the goroutines alive when Check is called and, at
+// cleanup, waits a grace period for anything newer to finish. Goroutines
+// that are part of normal runtime/stdlib operation (see ignored) are
+// exempt; everything else still alive is reported with its full stack.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long cleanup waits for stragglers before declaring a leak.
+// Legitimate teardown (an http server draining, a rank unwinding through a
+// poison cascade) finishes in milliseconds; a stranded goroutine never does.
+const grace = 5 * time.Second
+
+// ignored lists stack substrings of goroutines that are not leaks: test
+// machinery, runtime helpers, and stdlib background loops whose lifecycle
+// the test does not own.
+var ignored = []string{
+	"testing.Main(",
+	"testing.(*T).Run(",
+	"testing.runFuzzTests(",
+	"testing.runTests(",
+	"runtime.goexit",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"signal.signal_recv",
+	"os/signal.loop",
+	"runtime/pprof.",
+	// Keep-alive HTTP machinery: httptest.Server.Close reaps its conns, but
+	// the client side's idle pool unwinds asynchronously.
+	"net/http.(*persistConn).readLoop",
+	"net/http.(*persistConn).writeLoop",
+	"net/http.(*Transport).dialConn",
+	"net/http.setRequestCancel",
+}
+
+// Check registers a leaked-goroutine assertion on t. Call it before
+// anything else in the test so its cleanup runs after all others.
+// Extra stack substrings to exempt can be passed for tests that
+// deliberately own long-lived goroutines.
+func Check(t testing.TB, allow ...string) {
+	t.Helper()
+	base := goroutineIDs(snapshot())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range stacks(snapshot()) {
+				if base[id] || exempt(stack, allow) {
+					continue
+				}
+				leaked = append(leaked, stack)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("leakcheck: %d goroutine(s) leaked after %v grace:\n\n%s",
+			len(leaked), grace, strings.Join(leaked, "\n\n"))
+	})
+}
+
+// snapshot captures all goroutine stacks, growing the buffer until the
+// dump fits.
+func snapshot() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// stacks splits an all-goroutine dump into per-goroutine stanzas keyed by
+// goroutine ID.
+func stacks(dump string) map[string]string {
+	out := map[string]string{}
+	for _, stanza := range strings.Split(dump, "\n\n") {
+		stanza = strings.TrimSpace(stanza)
+		if stanza == "" {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(stanza, "goroutine %d ", &id); err != nil {
+			continue
+		}
+		out[fmt.Sprint(id)] = stanza
+	}
+	return out
+}
+
+// goroutineIDs reduces a dump to the set of live goroutine IDs.
+func goroutineIDs(dump string) map[string]bool {
+	out := map[string]bool{}
+	for id := range stacks(dump) {
+		out[id] = true
+	}
+	return out
+}
+
+// exempt reports whether a stack matches the built-in or caller-supplied
+// exemption lists.
+func exempt(stack string, allow []string) bool {
+	for _, s := range ignored {
+		if strings.Contains(stack, s) {
+			return true
+		}
+	}
+	for _, s := range allow {
+		if strings.Contains(stack, s) {
+			return true
+		}
+	}
+	return false
+}

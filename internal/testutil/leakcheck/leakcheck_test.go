@@ -1,0 +1,81 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCleanPasses: a goroutine that finishes before cleanup is not a leak.
+func TestCleanPasses(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+}
+
+// TestDetectsStranded drives the detection machinery directly (not through
+// Check, which would fail this very test): a goroutine parked on a channel
+// nobody closes must show up in the diff, and must disappear once released.
+func TestDetectsStranded(t *testing.T) {
+	base := goroutineIDs(snapshot())
+	block := make(chan struct{})
+	go func() { <-block }()
+	time.Sleep(10 * time.Millisecond)
+
+	var leaked []string
+	for id, stack := range stacks(snapshot()) {
+		if base[id] || exempt(stack, nil) {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	if len(leaked) != 1 {
+		t.Fatalf("got %d leaked goroutines, want exactly the stranded one:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "leakcheck.TestDetectsStranded") {
+		t.Fatalf("leak not attributed to this test:\n%s", leaked[0])
+	}
+
+	close(block)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		still := 0
+		for id, stack := range stacks(snapshot()) {
+			if !base[id] && !exempt(stack, nil) {
+				still++
+			}
+		}
+		if still == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("released goroutine still reported as leaked")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAllowExempts: a caller-supplied substring excuses a matching stack.
+func TestAllowExempts(t *testing.T) {
+	base := goroutineIDs(snapshot())
+	block := make(chan struct{})
+	defer close(block)
+	go parkForTest(block)
+	time.Sleep(10 * time.Millisecond)
+
+	for id, stack := range stacks(snapshot()) {
+		if base[id] {
+			continue
+		}
+		if strings.Contains(stack, "parkForTest") && !exempt(stack, []string{"parkForTest"}) {
+			t.Fatal("allow list did not exempt the parked goroutine")
+		}
+	}
+}
+
+func parkForTest(ch chan struct{}) { <-ch }

@@ -132,3 +132,16 @@ func BenchmarkFig11Scaling(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkClusterDetect(b *testing.B) {
+	o := benchOptions(b)
+	if _, err := bench.EnsureDataset(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunCluster(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

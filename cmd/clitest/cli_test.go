@@ -39,7 +39,8 @@ func binaries(t *testing.T) string {
 	}
 	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
 		"dassa/cmd/das_gen", "dassa/cmd/das_search", "dassa/cmd/das_info",
-		"dassa/cmd/das_analyze", "dassa/cmd/das_bench", "dassa/cmd/dassd")
+		"dassa/cmd/das_analyze", "dassa/cmd/das_bench", "dassa/cmd/dassd",
+		"dassa/cmd/dassw")
 	cmd.Dir = repoRoot(t)
 	if out, err := cmd.CombinedOutput(); err != nil {
 		buildErr = err

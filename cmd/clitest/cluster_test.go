@@ -1,0 +1,168 @@
+package clitest
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon launches one of the daemons (dassw/dassd) and returns the
+// running command plus the address it printed on stdout. Stdout keeps
+// draining in the background so the process never blocks on the pipe.
+func startDaemon(t *testing.T, name string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	re := regexp.MustCompile(`listening on (\S+)`)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("%s never reported its address", name)
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return cmd, addr
+}
+
+// terminate sends SIGTERM and requires a clean exit within the deadline.
+func terminate(t *testing.T, name string, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s exited uncleanly after SIGTERM: %v", name, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s did not exit within 10s of SIGTERM", name)
+	}
+}
+
+// TestClusterDaemons is the multi-process smoke test of the distributed
+// subsystem: two dassw shard workers plus a dassd coordinator, a
+// distributed /detect, one worker SIGKILLed while detect traffic is in
+// flight (the cluster must answer every request — re-dispatched or
+// NaN-degraded, never an error), and clean drains for the survivors.
+func TestClusterDaemons(t *testing.T) {
+	watch := t.TempDir()
+	run(t, "das_gen", "-dir", watch, "-channels", "48", "-rate", "100",
+		"-seconds", "2", "-files", "4", "-events", "fig10")
+
+	w1, a1 := startDaemon(t, "dassw", "-addr", "127.0.0.1:0")
+	w2, a2 := startDaemon(t, "dassw", "-addr", "127.0.0.1:0")
+	dd, daddr := startDaemon(t, "dassd",
+		"-dir", watch, "-addr", "127.0.0.1:0", "-poll", "1s",
+		"-workers", a1+","+a2)
+	base := "http://" + daddr
+
+	get := func(path string, out any) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s: decode: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Readiness requires the catalog scan AND a live worker heartbeat.
+	deadline := time.Now().Add(10 * time.Second)
+	for get("/readyz", nil) != 200 {
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never turned 200 with two live workers")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	type detectResp struct {
+		Op          string `json:"op"`
+		Distributed bool   `json:"distributed"`
+		Degraded    bool   `json:"degraded"`
+	}
+	var dr detectResp
+	if code := get("/detect?op=localsimi", &dr); code != 200 || !dr.Distributed || dr.Degraded {
+		t.Fatalf("healthy distributed detect: code %d, %+v", code, dr)
+	}
+
+	// Hammer /detect while one worker dies mid-stream. Every response
+	// must be a 200: a lost shard is either re-dispatched to the healthy
+	// worker or NaN-degraded into the quality report, never an error.
+	codes := make(chan int, 8)
+	go func() {
+		for i := 0; i < 8; i++ {
+			resp, err := http.Get(base + "/detect?op=localsimi")
+			if err != nil {
+				codes <- -1
+				continue
+			}
+			_ = resp.Body.Close()
+			codes <- resp.StatusCode
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	if err := w1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = w1.Process.Wait()
+	for i := 0; i < 8; i++ {
+		if code := <-codes; code != 200 {
+			t.Fatalf("detect #%d during worker death: code %d, want 200", i, code)
+		}
+	}
+
+	// With one worker down the cluster stays ready and distributed.
+	if code := get("/readyz", nil); code != 200 {
+		t.Fatalf("/readyz after worker death: %d, want 200", code)
+	}
+	dr = detectResp{}
+	if code := get("/detect?op=stalta", &dr); code != 200 || !dr.Distributed {
+		t.Fatalf("post-death distributed detect: code %d, %+v", code, dr)
+	}
+
+	// das_analyze -workers drives the same pool directly.
+	files, err := filepath.Glob(filepath.Join(watch, "*.dasf"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no generated files: %v %v", files, err)
+	}
+	out := run(t, "das_analyze", "-in", files[0], "-op", "stalta", "-workers", a2)
+	if !strings.Contains(out, "cluster: 1 worker(s)") || !strings.Contains(out, "STA/LTA map") {
+		t.Fatalf("das_analyze -workers output:\n%s", out)
+	}
+
+	// Survivors drain cleanly on SIGTERM.
+	terminate(t, "dassd", dd)
+	terminate(t, "dassw", w2)
+}

@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"dassa/internal/arrayudf"
+	"dassa/internal/cluster"
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/detect"
@@ -39,6 +42,63 @@ const (
 var logger = obs.Nop()
 
 // fatalUsage reports a bad invocation (exit 2).
+// runCluster fans a localsimi/stalta request out across dassw shard
+// workers and prints the same style of report as a local run. Shards
+// lost to worker failure are re-dispatched; under -fail-policy degrade
+// whatever stays lost is NaN-masked into the quality report.
+func runCluster(addrs string, req cluster.Request, policy dass.FailPolicy, outPath string, nt int, rate float64) {
+	var workers []string
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			workers = append(workers, a)
+		}
+	}
+	co, err := cluster.NewCoordinator(cluster.Config{
+		Workers:    workers,
+		FailPolicy: policy,
+		Log:        logger,
+		Registry:   obs.Default(),
+	})
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	defer co.Close()
+	res, err := co.Run(context.Background(), req)
+	if err != nil {
+		fatalData(err)
+	}
+	switch req.Op {
+	case cluster.OpLocalSimi:
+		regions := detect.FindEvents(res.Data, 1.5)
+		fmt.Printf("detected %d events:\n", len(regions))
+		secPerIdx := float64(nt) / rate / float64(res.Data.Samples)
+		for _, r := range regions {
+			fmt.Printf("  t=[%.1fs,%.1fs) channels=[%d,%d) peak=%.3f\n",
+				float64(r.TLo)*secPerIdx, float64(r.THi)*secPerIdx, r.ChLo, r.ChHi, r.Peak)
+		}
+	case cluster.OpSTALTA:
+		fmt.Printf("STA/LTA map: %d channels × %d samples, max ratio %.2f\n",
+			res.Data.Channels, res.Data.Samples, detect.MaxRatio(res.Data.Data))
+	}
+	if outPath != "" {
+		meta := dasf.Meta{"Producer": dasf.S("dassa-cluster")}
+		if err := dasf.WriteData(outPath, meta, nil, res.Data, dasf.Float64); err != nil {
+			fatalData(err)
+		}
+		fmt.Printf("result written to %s\n", outPath)
+	}
+	fmt.Printf("cluster: %d worker(s), %d shard(s), %d redispatched, %d degraded, wall %v\n",
+		res.Workers, res.Shards, res.Redispatched, res.DegradedShards, res.Wall.Round(time.Millisecond))
+	fmt.Printf("I/O: %d opens, %d read calls, %.1f MB read\n",
+		res.Trace.Opens, res.Trace.Reads, float64(res.Trace.BytesRead)/1e6)
+	if res.Quality.Degraded() {
+		fmt.Printf("WARNING: run degraded; %s\n", res.Quality)
+		for _, f := range res.Quality.LostFiles {
+			fmt.Printf("WARNING:   lost member: %s\n", f)
+		}
+	}
+}
+
 func fatalUsage(format string, args ...any) {
 	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(exitUsage)
@@ -74,6 +134,8 @@ func main() {
 		overlap = flag.Int("overlap", 0, "stacked: window overlap (raw samples)")
 		sta     = flag.Int("sta", 0, "stalta: short window (samples; default rate/5)")
 		lta     = flag.Int("lta", 0, "stalta: long window (samples; default 4*rate)")
+
+		workers = flag.String("workers", "", "comma-separated dassw worker addresses; localsimi/stalta fan out across them instead of the in-process engine")
 
 		retries = flag.Int("retries", 0, "retry transient read failures up to N times (exponential backoff)")
 		failPol = flag.String("fail-policy", "abort", "member file still bad after retries: abort | degrade (NaN gaps + quality report)")
@@ -124,6 +186,36 @@ func main() {
 	}
 	fmt.Printf("input: %s (%d channels × %d samples, %d file(s), %.0f Hz)\n",
 		*in, nch, nt, v.NumMembers(), sampleRate)
+
+	if *workers != "" {
+		creq := cluster.Request{View: v, Rate: sampleRate}
+		switch *op {
+		case "localsimi":
+			p := detect.LocalSimiParams{M: *m, K: *k, L: *l, Stride: *stride}
+			if err := p.Validate(); err != nil {
+				fatalUsage("%v", err)
+			}
+			creq.Op, creq.LocalSimi = cluster.OpLocalSimi, p
+		case "stalta":
+			p := detect.STALTAParams{STASamples: *sta, LTASamples: *lta, Stride: *stride}
+			if p.STASamples == 0 {
+				p.STASamples = max(int(sampleRate/5), 2)
+			}
+			if p.LTASamples == 0 {
+				p.LTASamples = max(int(4*sampleRate), p.STASamples+1)
+			}
+			if err := p.Validate(); err != nil {
+				fatalUsage("%v", err)
+			}
+			creq.Op, creq.STALTA = cluster.OpSTALTA, p
+		default:
+			// The interferometry family is a rows workload the wire
+			// protocol does not carry; it stays in process.
+			fatalUsage("-workers runs localsimi or stalta; -op %s is local only", *op)
+		}
+		runCluster(*workers, creq, policy, *out, nt, sampleRate)
+		return
+	}
 
 	engMode := haee.Hybrid
 	if *mode == "mpi" {

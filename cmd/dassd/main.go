@@ -14,7 +14,13 @@
 //	GET /status                           catalog, ingest, cache, admission
 //	GET /status?file=<name>               das_info -json for one file
 //	GET /metrics                          Prometheus text exposition
+//	GET /healthz                          liveness (200 once serving)
+//	GET /readyz                           readiness (503 until scanned + workers up)
 //	GET /debug/pprof/                     profiling (only with -pprof)
+//
+// With -workers host:port,... the daemon fans /read and /detect out
+// across dassw shard workers, re-dispatching or NaN-degrading shards
+// lost to worker failure.
 //
 // Logs are structured (-log-level, -log-format); SIGINT/SIGTERM drain
 // in-flight requests and exit 0.
@@ -29,12 +35,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dassa/internal/obs"
 	"dassa/internal/serve"
 )
+
+// splitWorkers parses the -workers flag: comma-separated host:port
+// addresses, empty entries dropped so a trailing comma is harmless.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -54,6 +73,7 @@ func main() {
 		quarMax  = flag.Duration("quarantine-max-backoff", 5*time.Minute, "re-probe backoff ceiling")
 		nodes    = flag.Int("nodes", 1, "simulated nodes for the analysis engine")
 		cores    = flag.Int("cores", 4, "cores per node for the analysis engine")
+		workers  = flag.String("workers", "", "comma-separated dassw addresses; /read and /detect fan out across them")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	newLogger := obs.LogFlags(nil)
@@ -93,9 +113,11 @@ func main() {
 		RequestTimeout: *reqTO,
 		Nodes:          *nodes,
 		CoresPerNode:   *cores,
+		Workers:        splitWorkers(*workers),
 		Log:            logger,
 		EnablePprof:    *pprofOn,
 	})
+	defer s.Close()
 
 	// Populate the catalog before accepting traffic, then poll.
 	if err := s.Ingester().ScanOnce(); err != nil {

@@ -30,6 +30,7 @@ func Experiments() []Experiment {
 		{"fig11", "Figure 11 (scaling)", func(o Options) (any, error) { return RunFig11(o) }},
 		{"ablation", "Ablations", func(o Options) (any, error) { return RunAblations(o) }},
 		{"detectors", "Detector comparison", func(o Options) (any, error) { return RunDetectors(o) }},
+		{"cluster", "Cluster fan-out (dassw loopback)", func(o Options) (any, error) { return RunCluster(o) }},
 	}
 }
 

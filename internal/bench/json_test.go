@@ -116,7 +116,7 @@ func TestRegistryCoversSwitchNames(t *testing.T) {
 	// The CLI's -exp vocabulary is exactly the registry; a new experiment
 	// added to one but not the other should fail here.
 	want := []string{"table1", "table2", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "ablation", "detectors"}
+		"fig10", "fig11", "ablation", "detectors", "cluster"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

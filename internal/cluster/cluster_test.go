@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"dassa/internal/core"
+	"dassa/internal/dasf"
+	"dassa/internal/dasgen"
+	"dassa/internal/dass"
+	"dassa/internal/detect"
+	"dassa/internal/testutil/leakcheck"
+	"dassa/internal/wire"
+)
+
+// makeView generates a synthetic file series and opens the full window.
+func makeView(t *testing.T, channels, files int) (*dass.View, float64) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := dasgen.Config{
+		Channels: channels, SampleRate: 50, FileSeconds: 2, NumFiles: files,
+		Seed: 11, DType: dasf.Float64,
+	}
+	if _, err := dasgen.Generate(dir, cfg, dasgen.Fig10Events(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := dass.ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := dass.ViewOver(cat.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, cfg.SampleRate
+}
+
+// startWorker serves a shard worker on a loopback listener and returns it
+// with its address. Close is registered for cleanup (idempotent, so tests
+// that kill the worker themselves are fine).
+func startWorker(t *testing.T, cfg WorkerConfig) (*Worker, string) {
+	t.Helper()
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 100 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(cfg)
+	go func() { _ = w.Serve(ln) }()
+	t.Cleanup(w.Close)
+	return w, ln.Addr().String()
+}
+
+// newCoord builds a coordinator over addrs with fast test timings.
+func newCoord(t *testing.T, addrs []string, mutate func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Workers:        addrs,
+		HeartbeatEvery: 100 * time.Millisecond,
+		DialTimeout:    2 * time.Second,
+		RedialBackoff:  50 * time.Millisecond,
+		FailPolicy:     dass.FailDegrade,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+// sameValues compares arrays elementwise, NaN-aware.
+func sameValues(t *testing.T, got, want *dasf.Array2D) {
+	t.Helper()
+	if got.Channels != want.Channels || got.Samples != want.Samples {
+		t.Fatalf("shape mismatch: got %d×%d want %d×%d",
+			got.Channels, got.Samples, want.Channels, want.Samples)
+	}
+	for i := range want.Data {
+		g, w := got.Data[i], want.Data[i]
+		if g == w || (math.IsNaN(g) && math.IsNaN(w)) {
+			continue
+		}
+		t.Fatalf("data[%d]: got %v want %v", i, g, w)
+	}
+}
+
+func TestClusterReadMatchesLocal(t *testing.T) {
+	leakcheck.Check(t)
+	v, _ := makeView(t, 16, 3)
+	_, a1 := startWorker(t, WorkerConfig{})
+	_, a2 := startWorker(t, WorkerConfig{})
+	_ = a1
+	co := newCoord(t, []string{a1, a2}, nil)
+
+	res, err := co.Run(context.Background(), Request{View: v, Op: OpRead, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := v.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameValues(t, res.Data, want)
+	if res.Quality.Degraded() {
+		t.Fatalf("clean read reported degraded: %v", res.Quality)
+	}
+	if res.Shards != 5 || res.Workers < 1 {
+		t.Fatalf("run stats wrong: %+v", res)
+	}
+	if res.Trace.BytesRead == 0 {
+		t.Fatal("merged trace carries no worker I/O")
+	}
+}
+
+func TestClusterLocalSimiMatchesLocal(t *testing.T) {
+	leakcheck.Check(t)
+	v, rate := makeView(t, 24, 2)
+	p := core.DefaultLocalSimi(rate).LocalSimiParams
+	_, a1 := startWorker(t, WorkerConfig{})
+	_, a2 := startWorker(t, WorkerConfig{})
+	co := newCoord(t, []string{a1, a2}, nil)
+
+	res, err := co.Run(context.Background(), Request{
+		View: v, Op: OpLocalSimi, Rate: rate, LocalSimi: p, Shards: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := core.New(core.Config{Nodes: 1, CoresPerNode: 4})
+	want, _, err := fw.Apply(v, p.Spec().GhostChannels, p.Spec().TimeStride, p.UDF(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameValues(t, res.Data, want)
+}
+
+func TestClusterSTALTAOnSubsetWindow(t *testing.T) {
+	leakcheck.Check(t)
+	v, _ := makeView(t, 24, 3)
+	_, nt := v.Shape()
+	sub, err := v.Subset(4, 20, nt/4, nt-nt/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := detect.STALTAParams{STASamples: 5, LTASamples: 25, Stride: 5}
+	_, a1 := startWorker(t, WorkerConfig{})
+	co := newCoord(t, []string{a1}, nil)
+
+	res, err := co.Run(context.Background(), Request{
+		View: sub, Op: OpSTALTA, STALTA: p, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := core.New(core.Config{Nodes: 1, CoresPerNode: 4})
+	want, _, err := fw.Apply(sub, 0, p.Stride, p.UDF(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameValues(t, res.Data, want)
+}
+
+func TestClusterNoWorkers(t *testing.T) {
+	leakcheck.Check(t)
+	v, _ := makeView(t, 8, 1)
+	co := newCoord(t, []string{"127.0.0.1:1"}, func(c *Config) {
+		c.DialTimeout = 100 * time.Millisecond
+	})
+	_, err := co.Run(context.Background(), Request{View: v, Op: OpRead})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("want ErrNoWorkers, got %v", err)
+	}
+}
+
+func TestClusterRejectsBadRequests(t *testing.T) {
+	leakcheck.Check(t)
+	v, _ := makeView(t, 8, 1)
+	_, a1 := startWorker(t, WorkerConfig{})
+	co := newCoord(t, []string{a1}, nil)
+	if _, err := co.Run(context.Background(), Request{View: v, Op: "bogus"}); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+	if _, err := co.Run(context.Background(), Request{Op: OpRead}); err == nil {
+		t.Fatal("nil view accepted")
+	}
+}
+
+func TestWorkerDrainRefusesNewWork(t *testing.T) {
+	leakcheck.Check(t)
+	v, _ := makeView(t, 8, 1)
+	w, a1 := startWorker(t, WorkerConfig{})
+	co := newCoord(t, []string{a1}, nil)
+
+	// A clean run, then drain, then the next run finds no worker.
+	if _, err := co.Run(context.Background(), Request{View: v, Op: OpRead}); err != nil {
+		t.Fatal(err)
+	}
+	w.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := co.Run(ctx, Request{View: v, Op: OpRead})
+	if err == nil {
+		t.Fatal("run against a drained worker succeeded")
+	}
+}
+
+func TestViewSpecRoundTrip(t *testing.T) {
+	v, _ := makeView(t, 8, 3)
+	files, err := filesOf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("filesOf returned %d specs, want 3", len(files))
+	}
+	back, err := viewOf(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wn, wt := v.Shape()
+	bn, bt := back.Shape()
+	if wn != bn || wt != bt {
+		t.Fatalf("round-tripped shape %d×%d, want %d×%d", bn, bt, wn, wt)
+	}
+	data, _, err := back.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := v.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameValues(t, data, want)
+}
+
+func TestExecuteShardDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	v, _ := makeView(t, 8, 2)
+	files, err := filesOf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := wire.ShardRequest{
+		ID: 1, Op: string(OpRead), Files: files,
+		ChLo: 0, ChHi: 8, T0: 0, T1: 10,
+		DeadlineUnixNano: time.Now().Add(-time.Second).UnixNano(),
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, req.DeadlineUnixNano))
+	defer cancel()
+	if _, _, err := executeShard(ctx, req, 2); !dass.IsCancellation(err) {
+		t.Fatalf("expired deadline: want cancellation, got %v", err)
+	}
+}

@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dassa/internal/arrayudf"
+	"dassa/internal/core"
+	"dassa/internal/dasf"
+	"dassa/internal/dass"
+	"dassa/internal/detect"
+	"dassa/internal/obs"
+	"dassa/internal/pfs"
+	"dassa/internal/wire"
+)
+
+// WorkerConfig sizes a shard worker. Zero values choose sane defaults.
+type WorkerConfig struct {
+	// Name identifies the worker in handshakes and logs (default the
+	// listener address).
+	Name string
+	// Cores is the per-shard compute parallelism (default 4, like the
+	// in-process engine).
+	Cores int
+	// HeartbeatEvery is the liveness beacon period (default 1s).
+	HeartbeatEvery time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight shards
+	// (default 10s).
+	DrainTimeout time.Duration
+	// Log receives structured worker events (default discard).
+	Log *slog.Logger
+	// Faults, when its Injector is non-nil, injects wire-layer failures on
+	// every accepted connection — drops, delays and partial writes for
+	// chaos tests.
+	Faults wire.FaultConfig
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	c.Log = obs.OrNop(c.Log)
+	return c
+}
+
+// Worker serves shard requests by running the existing storage/compute
+// pipeline over each request's slice of the file set. One worker handles
+// many coordinator connections; each connection multiplexes many shards.
+type Worker struct {
+	cfg WorkerConfig
+	ln  net.Listener
+
+	conns    sync.WaitGroup // connection handlers
+	jobs     sync.WaitGroup // in-flight shard executions
+	inFlight atomic.Int64
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	activeMu sync.Mutex
+	active   map[*wire.Conn]bool
+}
+
+// NewWorker creates a worker; call Serve to start accepting.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults()}
+}
+
+// InFlight returns how many shards are currently executing.
+func (w *Worker) InFlight() int { return int(w.inFlight.Load()) }
+
+// Serve accepts coordinator connections on ln until Drain (or a listener
+// error) stops it. It returns nil on a clean drain.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.activeMu.Lock()
+	w.ln = ln
+	if w.cfg.Name == "" {
+		w.cfg.Name = ln.Addr().String()
+	}
+	stopped := w.closed.Load() || w.draining.Load()
+	w.activeMu.Unlock()
+	if stopped {
+		ln.Close()
+		return nil
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if w.draining.Load() || w.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		w.conns.Add(1)
+		go func() {
+			defer w.conns.Done()
+			w.handle(nc)
+		}()
+	}
+}
+
+// Drain stops the worker gracefully: the listener closes, new shard
+// requests are refused with a "draining" error, and in-flight shards get
+// up to DrainTimeout to finish (their results still flow back before the
+// connections close). It is the SIGTERM path of cmd/dassw.
+func (w *Worker) Drain() {
+	if !w.draining.CompareAndSwap(false, true) {
+		return
+	}
+	w.closeListener()
+	done := make(chan struct{})
+	go func() { w.jobs.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(w.cfg.DrainTimeout):
+		w.cfg.Log.Warn("cluster: drain timeout, abandoning in-flight shards")
+	}
+	// Flush queued results, then sever. Close drains the send queue;
+	// Abort (via Close below) reaps anything left.
+	for _, c := range w.snapshotConns() {
+		_ = c.Close()
+	}
+	w.Close()
+}
+
+// Close stops the worker immediately: listener closed, connections
+// severed, in-flight shards cancelled through their contexts (each
+// handler poisons its jobs on exit).
+func (w *Worker) Close() {
+	if !w.closed.CompareAndSwap(false, true) {
+		return
+	}
+	w.draining.Store(true)
+	w.closeListener()
+	for _, c := range w.snapshotConns() {
+		c.Abort()
+	}
+	w.conns.Wait()
+}
+
+// closeListener closes the listener under the lock Serve sets it under, so
+// a Close racing Serve's startup still stops the accept loop.
+func (w *Worker) closeListener() {
+	w.activeMu.Lock()
+	ln := w.ln
+	w.activeMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// track registers a live connection; false means the worker is closed and
+// the caller must abandon it.
+func (w *Worker) track(c *wire.Conn) bool {
+	w.activeMu.Lock()
+	defer w.activeMu.Unlock()
+	if w.closed.Load() {
+		return false
+	}
+	if w.active == nil {
+		w.active = map[*wire.Conn]bool{}
+	}
+	w.active[c] = true
+	return true
+}
+
+func (w *Worker) untrack(c *wire.Conn) {
+	w.activeMu.Lock()
+	delete(w.active, c)
+	w.activeMu.Unlock()
+}
+
+func (w *Worker) snapshotConns() []*wire.Conn {
+	w.activeMu.Lock()
+	defer w.activeMu.Unlock()
+	out := make([]*wire.Conn, 0, len(w.active))
+	for c := range w.active {
+		out = append(out, c)
+	}
+	return out
+}
+
+// connState tracks one coordinator connection's in-flight jobs so cancel
+// frames (and connection death) can poison them.
+type connState struct {
+	mu      sync.Mutex
+	cancels map[uint64][]context.CancelCauseFunc // request ID → job cancels
+}
+
+func (s *connState) add(id uint64, c context.CancelCauseFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancels == nil {
+		s.cancels = map[uint64][]context.CancelCauseFunc{}
+	}
+	s.cancels[id] = append(s.cancels[id], c)
+}
+
+func (s *connState) cancel(id uint64, cause error) {
+	s.mu.Lock()
+	cs := s.cancels[id]
+	delete(s.cancels, id)
+	s.mu.Unlock()
+	for _, c := range cs {
+		c(cause)
+	}
+}
+
+func (s *connState) cancelAll(cause error) {
+	s.mu.Lock()
+	all := s.cancels
+	s.cancels = nil
+	s.mu.Unlock()
+	for _, cs := range all {
+		for _, c := range cs {
+			c(cause)
+		}
+	}
+}
+
+// errConnDead poisons jobs whose coordinator connection died; errCancelled
+// poisons jobs the coordinator cancelled explicitly.
+var (
+	errConnDead  = errors.New("cluster: coordinator connection lost")
+	errCancelled = errors.New("cluster: request cancelled by coordinator")
+)
+
+// handle runs one coordinator connection: handshake, heartbeats out,
+// requests in, shard jobs fanned out.
+func (w *Worker) handle(nc net.Conn) {
+	c := wire.NewConn(nc, wire.DefaultSendQueue)
+	if w.cfg.Faults.Injector != nil {
+		fc := w.cfg.Faults
+		if fc.Label == "" {
+			fc.Label = nc.RemoteAddr().String()
+		}
+		c = c.SetFaults(fc)
+	}
+	if !w.track(c) {
+		c.Abort()
+		return
+	}
+	st := &connState{}
+	defer func() {
+		st.cancelAll(errConnDead)
+		w.untrack(c)
+		c.Abort()
+	}()
+
+	// Handshake: the first frame must be a Hello.
+	f, err := c.Recv()
+	if err != nil || f.Type != wire.TypeHello {
+		w.cfg.Log.Warn("cluster: handshake failed", "remote", nc.RemoteAddr().String(), "err", err)
+		return
+	}
+	var hello wire.Hello
+	if err := wire.DecodeInto(f, &hello); err != nil || hello.Version != wire.Version {
+		w.cfg.Log.Warn("cluster: bad hello", "err", err)
+		return
+	}
+	if err := c.SendEnvelope(wire.TypeWelcome, wire.Welcome{Worker: w.cfg.Name, Version: wire.Version}); err != nil {
+		return
+	}
+	w.cfg.Log.Info("cluster: coordinator connected", "from", hello.From)
+
+	// Heartbeats flow until the read loop ends.
+	beatsDone := make(chan struct{})
+	defer close(beatsDone)
+	go func() {
+		t := time.NewTicker(w.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-beatsDone:
+				return
+			case now := <-t.C:
+				hb := wire.Heartbeat{UnixNano: now.UnixNano(), InFlight: int(w.inFlight.Load())}
+				if err := c.SendEnvelope(wire.TypeHeartbeat, hb); err != nil && !errors.Is(err, wire.ErrQueueFull) {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.TypeShardRequest:
+			var req wire.ShardRequest
+			if err := wire.DecodeInto(f, &req); err != nil {
+				w.cfg.Log.Warn("cluster: undecodable shard request", "err", err)
+				continue
+			}
+			if w.draining.Load() {
+				_ = c.SendEnvelope(wire.TypeShardError, wire.ShardError{
+					ID: req.ID, Shard: req.Shard, Msg: "worker draining",
+				})
+				continue
+			}
+			w.jobs.Add(1)
+			w.inFlight.Add(1)
+			go func() {
+				defer w.jobs.Done()
+				defer w.inFlight.Add(-1)
+				w.runJob(c, st, req)
+			}()
+		case wire.TypeCancel:
+			var cn wire.Cancel
+			if err := wire.DecodeInto(f, &cn); err == nil {
+				st.cancel(cn.ID, errCancelled)
+			}
+		case wire.TypeGoodbye:
+			return
+		case wire.TypeHeartbeat:
+			// Coordinator-side beats are allowed and ignored.
+		default:
+			w.cfg.Log.Warn("cluster: unexpected frame", "type", f.Type.String())
+		}
+	}
+}
+
+// runJob executes one shard and replies with its result or error.
+func (w *Worker) runJob(c *wire.Conn, st *connState, req wire.ShardRequest) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	st.add(req.ID, cancel)
+	if req.DeadlineUnixNano > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithDeadline(ctx, time.Unix(0, req.DeadlineUnixNano))
+		defer cancelT()
+	}
+
+	start := time.Now()
+	res, data, err := executeShard(ctx, req, w.cfg.Cores)
+	if err != nil {
+		cancelled := dass.IsCancellation(err) ||
+			errors.Is(err, errCancelled) || errors.Is(err, errConnDead)
+		w.cfg.Log.Warn("cluster: shard failed",
+			"id", req.ID, "shard", req.Shard, "cancelled", cancelled, "err", err)
+		_ = c.SendEnvelope(wire.TypeShardError, wire.ShardError{
+			ID: req.ID, Shard: req.Shard, Msg: err.Error(), Cancelled: cancelled,
+		})
+		return
+	}
+	res.ID, res.Shard = req.ID, req.Shard
+	res.WallNS = time.Since(start).Nanoseconds()
+	f, err := wire.EncodeResult(res, data)
+	if err != nil {
+		_ = c.SendEnvelope(wire.TypeShardError, wire.ShardError{
+			ID: req.ID, Shard: req.Shard, Msg: fmt.Sprintf("encode result: %v", err),
+		})
+		return
+	}
+	if err := c.Send(f); err != nil {
+		w.cfg.Log.Warn("cluster: result send failed", "id", req.ID, "shard", req.Shard, "err", err)
+	} else {
+		w.cfg.Log.Debug("cluster: result sent", "id", req.ID, "shard", req.Shard)
+	}
+}
+
+// executeShard runs one shard's slice of the pipeline: rebuild the view,
+// subset to the shard window plus halo, run the op under FailDegrade, trim
+// halo rows, and lift gaps back to absolute channel coordinates.
+func executeShard(ctx context.Context, req wire.ShardRequest, cores int) (wire.ShardResult, []float64, error) {
+	full, err := viewOf(req.Files)
+	if err != nil {
+		return wire.ShardResult{}, nil, err
+	}
+	nch, nt := full.Shape()
+	if req.ChLo < 0 || req.ChHi > nch || req.ChLo >= req.ChHi ||
+		req.T0 < 0 || req.T1 > nt || req.T0 >= req.T1 {
+		return wire.ShardResult{}, nil, fmt.Errorf(
+			"cluster: shard window [%d:%d)×[%d:%d) out of file-set bounds %d×%d",
+			req.ChLo, req.ChHi, req.T0, req.T1, nch, nt)
+	}
+	gLo := max(0, req.ChLo-req.Halo)
+	gHi := min(nch, req.ChHi+req.Halo)
+	sub, err := full.Subset(gLo, gHi, req.T0, req.T1)
+	if err != nil {
+		return wire.ShardResult{}, nil, err
+	}
+	sub = sub.WithContext(ctx)
+
+	var (
+		out  *dasf.Array2D
+		tr   pfs.Trace
+		gaps []dass.Gap
+	)
+	switch Op(req.Op) {
+	case OpRead:
+		out, tr, gaps, err = sub.ReadPolicy(dass.FailDegrade)
+	case OpLocalSimi:
+		p := detect.LocalSimiParams{M: req.M, K: req.K, L: req.L, Stride: req.Stride}
+		if verr := p.Validate(); verr != nil {
+			return wire.ShardResult{}, nil, verr
+		}
+		out, tr, gaps, err = applyShard(sub, p.Spec().GhostChannels, p.Spec().TimeStride, p.UDF(), cores)
+	case OpSTALTA:
+		p := detect.STALTAParams{STASamples: req.STA, LTASamples: req.LTA, Stride: req.Stride}
+		if verr := p.Validate(); verr != nil {
+			return wire.ShardResult{}, nil, verr
+		}
+		out, tr, gaps, err = applyShard(sub, 0, p.Spec().TimeStride, p.UDF(), cores)
+	default:
+		return wire.ShardResult{}, nil, fmt.Errorf("cluster: unknown op %q", req.Op)
+	}
+	if err != nil {
+		return wire.ShardResult{}, nil, err
+	}
+
+	// Trim halo rows: the reply carries exactly the core [ChLo, ChHi).
+	coreLo := req.ChLo - gLo
+	coreN := req.ChHi - req.ChLo
+	data := make([]float64, coreN*out.Samples)
+	for c := 0; c < coreN; c++ {
+		copy(data[c*out.Samples:(c+1)*out.Samples], out.Row(coreLo+c))
+	}
+	res := wire.ShardResult{
+		Channels: coreN,
+		Samples:  out.Samples,
+		Trace: wire.Trace{
+			Opens: tr.Opens, Reads: tr.Reads, BytesRead: tr.BytesRead,
+			Retries: tr.Retries, Faults: tr.Faults, SlowReads: tr.SlowReads,
+			Masked: tr.MaskedSamples,
+		},
+	}
+	// Lift gaps from sub-relative to absolute channels, clipped to the
+	// core rows (halo losses are the neighbouring shard's to report).
+	for _, g := range gaps {
+		lo := max(g.ChLo+gLo, req.ChLo)
+		hi := min(g.ChHi+gLo, req.ChHi)
+		if lo >= hi {
+			continue
+		}
+		res.Gaps = append(res.Gaps, wire.Gap{
+			Member: g.Member, File: g.File,
+			ChLo: lo, ChHi: hi, TLo: g.TLo, THi: g.THi,
+		})
+	}
+	return res, data, nil
+}
+
+// applyShard runs a stencil op over the shard's sub-view under FailDegrade
+// and normalizes the engine's report to (output, trace, gaps).
+func applyShard(sub *dass.View, ghost, stride int, udf arrayudf.PointUDF, cores int) (*dasf.Array2D, pfs.Trace, []dass.Gap, error) {
+	fw := core.New(core.Config{Nodes: 1, CoresPerNode: cores, FailPolicy: dass.FailDegrade})
+	out, rep, err := fw.Apply(sub, ghost, stride, udf, "")
+	if err != nil {
+		return nil, rep.ReadTrace, nil, err
+	}
+	var gaps []dass.Gap
+	if rep.Quality != nil {
+		gaps = rep.Quality.Gaps
+	}
+	return out, rep.ReadTrace, gaps, nil
+}

@@ -177,6 +177,33 @@ func buildReport(gaps []Gap, v *View, tr pfs.Trace) *QualityReport {
 	return q
 }
 
+// BuildQuality assembles a QualityReport from view-relative gaps and an
+// already-reduced trace — the merge step a distributed coordinator shares
+// with the in-process GatherQuality collective: remote shards report gaps
+// over the wire, and rank 0's accounting (overlap merging, per-channel and
+// per-file loss counts) happens identically here.
+func BuildQuality(v *View, gaps []Gap, tr pfs.Trace) *QualityReport {
+	return buildReport(gaps, v, tr)
+}
+
+// ShardGaps returns the gaps a wholly lost channel shard [chLo, chHi)
+// (view-relative) leaves behind: one NaN rectangle per member file the
+// view's time window touches, covering the shard's full time extent. This
+// is what a coordinator records when a shard's worker died and no healthy
+// peer could take the re-dispatch — the distributed analogue of a failed
+// local rank's member gaps.
+func ShardGaps(v *View, chLo, chHi int) []Gap {
+	var gaps []Gap
+	for _, sp := range v.memberSpans() {
+		gaps = append(gaps, Gap{
+			Member: sp.idx, File: v.memberPath(sp.idx),
+			ChLo: chLo, ChHi: chHi,
+			TLo: sp.destOff, THi: sp.destOff + (sp.tHi - sp.tLo),
+		})
+	}
+	return gaps
+}
+
 // addStats folds a reader's physical I/O counters — robustness counters
 // included — into a trace.
 func addStats(tr *pfs.Trace, st dasf.IOStats) {

@@ -174,6 +174,15 @@ func (v *View) SubsetChannels(chLo, chHi int) (*View, error) {
 // Shape returns the view's extent (channels, samples).
 func (v *View) Shape() (nch, nt int) { return v.chHi - v.chLo, v.tHi - v.tLo }
 
+// Window returns the view's rectangle in the underlying file set's absolute
+// coordinates: channels [chLo, chHi) × samples [tLo, tHi) over the (virtual)
+// concatenated array. A distributed coordinator ships these bounds to
+// workers, which rebuild the full-extent view from member metadata and
+// subset back to the same window.
+func (v *View) Window() (chLo, chHi, tLo, tHi int) {
+	return v.chLo, v.chHi, v.tLo, v.tHi
+}
+
 // Info returns the underlying file metadata.
 func (v *View) Info() dasf.Info { return v.info }
 

@@ -13,11 +13,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dassa/internal/cluster"
 	"dassa/internal/core"
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/detect"
 	"dassa/internal/obs"
+	"dassa/internal/pfs"
 )
 
 // Config sizes the daemon.
@@ -46,6 +48,11 @@ type Config struct {
 	// Nodes/CoresPerNode size the in-process HAEE engine (defaults 1/4).
 	Nodes        int
 	CoresPerNode int
+	// Workers lists cluster worker addresses (dassw instances). When
+	// non-empty, /read and /detect fan out across them through a
+	// coordinator; if no worker is healthy the run falls back to the
+	// local engine (counted in dassa_cluster_fallbacks_total).
+	Workers []string
 	// Log receives structured server events (access logs included); nil
 	// silences them.
 	Log *slog.Logger
@@ -152,16 +159,18 @@ func (a *admission) stats() AdmissionStats {
 
 // Server is the dassd HTTP service: ingester + cache + handlers.
 type Server struct {
-	cfg       Config
-	ing       *Ingester
-	cache     *BlockCache
-	fw        *core.Framework
-	adm       *admission
-	jobs      chan struct{}
-	jobsDone  atomic.Int64
-	panics    atomic.Int64
-	cancelled atomic.Int64
-	start     time.Time
+	cfg        Config
+	ing        *Ingester
+	cache      *BlockCache
+	fw         *core.Framework
+	adm        *admission
+	co         *cluster.Coordinator
+	coFallback atomic.Int64
+	jobs       chan struct{}
+	jobsDone   atomic.Int64
+	panics     atomic.Int64
+	cancelled  atomic.Int64
+	start      time.Time
 
 	log      *slog.Logger
 	reg      *obs.Registry
@@ -195,6 +204,7 @@ func NewServer(cfg Config) *Server {
 		reg:   reg,
 	}
 	s.registerMetrics()
+	s.initCluster()
 	return s
 }
 
@@ -218,6 +228,11 @@ func (s *Server) Handler() http.Handler {
 	// overload.
 	mux.HandleFunc("/status", s.instrument("/status", s.handleStatus))
 	mux.Handle("/metrics", s.reg.Handler())
+	// Probe endpoints sit outside admission (and even outside instrument:
+	// orchestrators hit them every few seconds and they should not skew
+	// the request-latency histograms).
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	if s.cfg.EnablePprof {
 		mountPprof(mux)
 	}
@@ -478,10 +493,23 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	arr, tr, gaps, err := sub.ReadPolicy(dass.FailDegrade)
-	if err != nil {
-		s.writeQueryError(w, err)
-		return
+	var distributed bool
+	var arr *dasf.Array2D
+	var tr pfs.Trace
+	var gaps []dass.Gap
+	if s.co != nil {
+		arr, tr, gaps, distributed, err = s.clusterRead(r.Context(), sub)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+	}
+	if !distributed {
+		arr, tr, gaps, err = sub.ReadPolicy(dass.FailDegrade)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
 	}
 	s.quality.recordRead(tr, gaps)
 	resp := map[string]any{
@@ -491,7 +519,8 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		"io": map[string]int64{
 			"opens": tr.Opens, "reads": tr.Reads, "bytes_read": tr.BytesRead,
 		},
-		"gaps": len(gaps),
+		"gaps":        len(gaps),
+		"distributed": distributed,
 	}
 	if r.URL.Query().Get("data") != "0" {
 		rows := make([][]float64, arr.Channels)
@@ -562,6 +591,11 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	var regions []detect.Region
 	var rep core.Report
+	var cres *cluster.Result
+	var distributed bool
+	// Each op validates its parameters, then runs either across the
+	// worker pool (event regions are computed coordinator-side on the
+	// merged map, exactly as the local engine would) or in process.
 	switch op {
 	case "localsimi":
 		opt := core.DefaultLocalSimi(rate)
@@ -574,7 +608,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			badRequest(w, "%v", err)
 			return
 		}
-		_, regions, rep, err = s.fw.LocalSimilarity(v, opt)
+		if s.co != nil {
+			cres, distributed, err = s.runCluster(r.Context(), cluster.Request{
+				View: v, Op: cluster.OpLocalSimi, Rate: rate, LocalSimi: opt.LocalSimiParams,
+			})
+		}
+		if !distributed {
+			_, regions, rep, err = s.fw.LocalSimilarity(v, opt)
+		} else if err == nil {
+			nch, _ := v.Shape()
+			regions = detect.FindEventsBanded(cres.Data, opt.Threshold, max(nch/8, 4))
+		}
 	case "stalta":
 		p := detect.STALTAParams{STASamples: max(int(rate/10), 2), LTASamples: max(int(rate), 8)}
 		if p.STASamples, err = queryInt(r, "sta", p.STASamples); err != nil {
@@ -586,7 +630,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var out *dasf.Array2D
-		out, rep, err = s.fw.STALTA(v, p, "")
+		if s.co != nil {
+			cres, distributed, err = s.runCluster(r.Context(), cluster.Request{
+				View: v, Op: cluster.OpSTALTA, Rate: rate, STALTA: p,
+			})
+			if distributed && err == nil {
+				out = cres.Data
+			}
+		}
+		if !distributed {
+			out, rep, err = s.fw.STALTA(v, p, "")
+		}
 		if err == nil {
 			nch, _ := v.Shape()
 			regions = detect.FindEventsBanded(out, threshold, max(nch/8, 4))
@@ -600,20 +654,36 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobsDone.Add(1)
-	s.quality.recordReport(rep.Quality)
+	degraded := rep.Degraded()
+	if distributed {
+		s.quality.recordReport(cres.Quality)
+		degraded = cres.Degraded()
+	} else {
+		s.quality.recordReport(rep.Quality)
+	}
 
 	events := make([]regionJSON, len(regions))
 	for i, reg := range regions {
 		events[i] = regionJSON{TLo: reg.TLo, THi: reg.THi, ChLo: reg.ChLo, ChHi: reg.ChHi, Peak: reg.Peak}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"op":       op,
-		"files":    len(entries),
-		"events":   events,
-		"wall_ms":  time.Since(t0).Milliseconds(),
-		"degraded": rep.Degraded(),
-		"phases":   rep.Phases,
-	})
+	resp := map[string]any{
+		"op":          op,
+		"files":       len(entries),
+		"events":      events,
+		"wall_ms":     time.Since(t0).Milliseconds(),
+		"degraded":    degraded,
+		"phases":      rep.Phases,
+		"distributed": distributed,
+	}
+	if distributed {
+		resp["cluster"] = map[string]any{
+			"workers":         cres.Workers,
+			"shards":          cres.Shards,
+			"redispatched":    cres.Redispatched,
+			"degraded_shards": cres.DegradedShards,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleStatus is GET /status: catalog size, ingest lag, cache and
@@ -643,7 +713,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	for _, b := range s.ing.BadFiles() {
 		bad = append(bad, b.Path)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"catalog":   catalog,
 		"ingest":    s.ing.Stats(),
@@ -655,5 +725,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		},
 		"bad_files":  bad,
 		"quarantine": s.ing.Quarantined(),
-	})
+	}
+	if s.co != nil {
+		body["cluster"] = map[string]any{
+			"workers":   len(s.cfg.Workers),
+			"healthy":   s.co.HealthyWorkers(),
+			"fallbacks": s.coFallback.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }

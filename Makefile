@@ -5,12 +5,23 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-extra fuzz bench
+# Build identity stamped into the binaries (internal/obs.BuildVersion /
+# BuildCommit): /status reports it and every trace's root span carries it,
+# so a scraped trace names the exact build that produced it.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS := -X dassa/internal/obs.BuildVersion=$(VERSION) -X dassa/internal/obs.BuildCommit=$(COMMIT)
+
+.PHONY: all build install test race lint lint-extra fuzz bench
 
 all: build lint test
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
+
+# Stamped binaries into GOBIN (or GOPATH/bin).
+install:
+	$(GO) install -ldflags "$(LDFLAGS)" ./cmd/...
 
 test:
 	$(GO) test ./...

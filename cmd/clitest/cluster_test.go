@@ -15,20 +15,29 @@ import (
 )
 
 // startDaemon launches one of the daemons (dassw/dassd) and returns the
-// running command plus the address it printed on stdout. Stdout keeps
-// draining in the background so the process never blocks on the pipe.
-func startDaemon(t *testing.T, name string, args ...string) (*exec.Cmd, string) {
+// running command, the address it printed on stdout, and the file its
+// stderr (the structured log) is captured into — tests grep it for
+// trace_id correlation. Stdout keeps draining in the background so the
+// process never blocks on the pipe.
+func startDaemon(t *testing.T, name string, args ...string) (*exec.Cmd, string, string) {
 	t.Helper()
 	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = os.Stderr
+	logFile, err := os.CreateTemp(t.TempDir(), name+"-*.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = logFile
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = cmd.Process.Kill() })
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = logFile.Close()
+	})
 
 	var addr string
 	sc := bufio.NewScanner(stdout)
@@ -46,7 +55,7 @@ func startDaemon(t *testing.T, name string, args ...string) (*exec.Cmd, string) 
 		for sc.Scan() {
 		}
 	}()
-	return cmd, addr
+	return cmd, addr, logFile.Name()
 }
 
 // terminate sends SIGTERM and requires a clean exit within the deadline.
@@ -77,9 +86,12 @@ func TestClusterDaemons(t *testing.T) {
 	run(t, "das_gen", "-dir", watch, "-channels", "48", "-rate", "100",
 		"-seconds", "2", "-files", "4", "-events", "fig10")
 
-	w1, a1 := startDaemon(t, "dassw", "-addr", "127.0.0.1:0")
-	w2, a2 := startDaemon(t, "dassw", "-addr", "127.0.0.1:0")
-	dd, daddr := startDaemon(t, "dassd",
+	// The victim's storage reads are slowed so detect shards are reliably
+	// still in flight on it when the kill lands mid-hammer.
+	w1, a1, _ := startDaemon(t, "dassw", "-addr", "127.0.0.1:0", "-name", "victim",
+		"-inject", "seed=3,slowp=1,slowlat=60ms")
+	w2, a2, w2log := startDaemon(t, "dassw", "-addr", "127.0.0.1:0", "-name", "survivor")
+	dd, daddr, ddlog := startDaemon(t, "dassd",
 		"-dir", watch, "-addr", "127.0.0.1:0", "-poll", "1s",
 		"-workers", a1+","+a2)
 	base := "http://" + daddr
@@ -112,24 +124,113 @@ func TestClusterDaemons(t *testing.T) {
 		Distributed bool   `json:"distributed"`
 		Degraded    bool   `json:"degraded"`
 	}
+	// traceDoc mirrors the /debug/traces/{id} payload closely enough to
+	// walk the span tree.
+	type traceDoc struct {
+		TraceID string `json:"trace_id"`
+		Root    string `json:"root"`
+		Spans   []struct {
+			Name    string `json:"name"`
+			Process string `json:"process"`
+			Status  string `json:"status"`
+			Attrs   []struct {
+				K string `json:"k"`
+				V string `json:"v"`
+			} `json:"attrs"`
+		} `json:"spans"`
+	}
+	getTrace := func(id string) (traceDoc, int) {
+		var td traceDoc
+		resp, err := http.Get(base + "/debug/traces/" + id)
+		if err != nil {
+			t.Fatalf("GET /debug/traces/%s: %v", id, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(&td); err != nil {
+				t.Fatalf("trace %s: decode: %v", id, err)
+			}
+		}
+		return td, resp.StatusCode
+	}
+
 	var dr detectResp
-	if code := get("/detect?op=localsimi", &dr); code != 200 || !dr.Distributed || dr.Degraded {
-		t.Fatalf("healthy distributed detect: code %d, %+v", code, dr)
+	resp, err := http.Get(base + "/detect?op=localsimi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyID := resp.Header.Get("X-Dassa-Trace")
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !dr.Distributed || dr.Degraded {
+		t.Fatalf("healthy distributed detect: code %d, %+v", resp.StatusCode, dr)
+	}
+
+	// The healthy detect must be retrievable as ONE reassembled trace with
+	// coordinator dispatch spans and worker-side shard spans from both
+	// worker processes.
+	if healthyID == "" {
+		t.Fatal("detect response carries no X-Dassa-Trace header")
+	}
+	td, code := getTrace(healthyID)
+	if code != 200 {
+		t.Fatalf("/debug/traces/%s: code %d", healthyID, code)
+	}
+	if td.Root != "http /detect" {
+		t.Fatalf("trace root %q, want \"http /detect\"", td.Root)
+	}
+	procs := map[string]bool{}
+	var dispatches int
+	for _, sp := range td.Spans {
+		if sp.Name == "worker.shard" {
+			procs[sp.Process] = true
+		}
+		if sp.Name == "cluster.dispatch" {
+			dispatches++
+		}
+	}
+	if dispatches == 0 {
+		t.Fatal("healthy detect trace has no cluster.dispatch spans")
+	}
+	if !procs["victim"] || !procs["survivor"] {
+		t.Fatalf("healthy detect trace missing worker-side spans: have processes %v", procs)
+	}
+
+	// The same trace id must correlate the dassd access log with the
+	// worker's shard log — grep both stderr captures.
+	grepLog := func(path, want string) bool {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Contains(string(raw), want)
+	}
+	if !grepLog(ddlog, healthyID) {
+		t.Errorf("trace id %s not in dassd log %s", healthyID, ddlog)
+	}
+	if !grepLog(w2log, healthyID) {
+		t.Errorf("trace id %s not in dassw (survivor) log %s", healthyID, w2log)
 	}
 
 	// Hammer /detect while one worker dies mid-stream. Every response
 	// must be a 200: a lost shard is either re-dispatched to the healthy
 	// worker or NaN-degraded into the quality report, never an error.
-	codes := make(chan int, 8)
+	type hammered struct {
+		code    int
+		traceID string
+	}
+	codes := make(chan hammered, 8)
 	go func() {
 		for i := 0; i < 8; i++ {
 			resp, err := http.Get(base + "/detect?op=localsimi")
 			if err != nil {
-				codes <- -1
+				codes <- hammered{code: -1}
 				continue
 			}
 			_ = resp.Body.Close()
-			codes <- resp.StatusCode
+			codes <- hammered{resp.StatusCode, resp.Header.Get("X-Dassa-Trace")}
 		}
 	}()
 	time.Sleep(150 * time.Millisecond)
@@ -137,10 +238,43 @@ func TestClusterDaemons(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _ = w1.Process.Wait()
+	var hammerIDs []string
 	for i := 0; i < 8; i++ {
-		if code := <-codes; code != 200 {
-			t.Fatalf("detect #%d during worker death: code %d, want 200", i, code)
+		h := <-codes
+		if h.code != 200 {
+			t.Fatalf("detect #%d during worker death: code %d, want 200", i, h.code)
 		}
+		hammerIDs = append(hammerIDs, h.traceID)
+	}
+
+	// Scrape the traces of the hammered requests: at least one must tell
+	// the worker-death story — a dispatch that failed, then either a
+	// redispatch-marked retry or a NaN-degrade decision, all in one trace.
+	var sawFailure, sawRecovery bool
+	for _, id := range hammerIDs {
+		td, code := getTrace(id)
+		if code != 200 {
+			continue // evicted under churn; the others cover it
+		}
+		for _, sp := range td.Spans {
+			if sp.Name == "cluster.dispatch" && sp.Status != "" && sp.Status != "ok" {
+				sawFailure = true
+			}
+			attrs := map[string]string{}
+			for _, a := range sp.Attrs {
+				attrs[a.K] = a.V
+			}
+			if sp.Name == "cluster.dispatch" && attrs["redispatch"] == "true" {
+				sawRecovery = true
+			}
+			if sp.Name == "cluster.degrade" {
+				sawRecovery = true
+			}
+		}
+	}
+	if !sawFailure || !sawRecovery {
+		t.Errorf("worker-death traces show failure=%v recovery=%v; "+
+			"want a failed dispatch plus a redispatch or degrade span", sawFailure, sawRecovery)
 	}
 
 	// With one worker down the cluster stays ready and distributed.
@@ -157,9 +291,15 @@ func TestClusterDaemons(t *testing.T) {
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no generated files: %v %v", files, err)
 	}
-	out := run(t, "das_analyze", "-in", files[0], "-op", "stalta", "-workers", a2)
+	out := run(t, "das_analyze", "-in", files[0], "-op", "stalta", "-workers", a2, "-trace")
 	if !strings.Contains(out, "cluster: 1 worker(s)") || !strings.Contains(out, "STA/LTA map") {
 		t.Fatalf("das_analyze -workers output:\n%s", out)
+	}
+	// -trace prints the reassembled span tree, worker-side spans included.
+	for _, want := range []string{"trace ", "cluster.dispatch", "worker.shard", "@survivor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("das_analyze -trace output missing %q:\n%s", want, out)
+		}
 	}
 
 	// Survivors drain cleanly on SIGTERM.

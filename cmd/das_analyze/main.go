@@ -26,6 +26,7 @@ import (
 	"dassa/internal/haee"
 	"dassa/internal/mpi"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/pfs"
 )
 
@@ -46,7 +47,7 @@ var logger = obs.Nop()
 // workers and prints the same style of report as a local run. Shards
 // lost to worker failure are re-dispatched; under -fail-policy degrade
 // whatever stays lost is NaN-masked into the quality report.
-func runCluster(addrs string, req cluster.Request, policy dass.FailPolicy, outPath string, nt int, rate float64) {
+func runCluster(ctx context.Context, addrs string, req cluster.Request, policy dass.FailPolicy, outPath string, nt int, rate float64) {
 	var workers []string
 	for _, a := range strings.Split(addrs, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -63,7 +64,7 @@ func runCluster(addrs string, req cluster.Request, policy dass.FailPolicy, outPa
 		fatalUsage("%v", err)
 	}
 	defer co.Close()
-	res, err := co.Run(context.Background(), req)
+	res, err := co.Run(ctx, req)
 	if err != nil {
 		fatalData(err)
 	}
@@ -137,6 +138,8 @@ func main() {
 
 		workers = flag.String("workers", "", "comma-separated dassw worker addresses; localsimi/stalta fan out across them instead of the in-process engine")
 
+		traceRun = flag.Bool("trace", false, "record a request trace of the run and print the span tree afterwards")
+
 		retries = flag.Int("retries", 0, "retry transient read failures up to N times (exponential backoff)")
 		failPol = flag.String("fail-policy", "abort", "member file still bad after retries: abort | degrade (NaN gaps + quality report)")
 		inject  = flag.String("inject", "", "fault injection spec for chaos testing, e.g. 'seed=1,transient=0.3,max=3,missing=a.dasf'")
@@ -187,6 +190,20 @@ func main() {
 	fmt.Printf("input: %s (%d channels × %d samples, %d file(s), %.0f Hz)\n",
 		*in, nch, nt, v.NumMembers(), sampleRate)
 
+	// -trace: record the run into a one-shot local store; the cluster
+	// coordinator and the local engine both annotate through the view's
+	// context, and workers ship their spans back over the wire, so the
+	// printed tree is the same cross-process view dassd serves at
+	// /debug/traces/{id}.
+	ctx := context.Background()
+	var traceStore *trace.Store
+	var traceRoot *trace.Span
+	if *traceRun {
+		traceStore = trace.NewStore(1, 1)
+		ctx, traceRoot = trace.New(ctx, traceStore, "das_analyze", trace.NewID(), "analyze "+*op)
+		v = v.WithContext(ctx)
+	}
+
 	if *workers != "" {
 		creq := cluster.Request{View: v, Rate: sampleRate}
 		switch *op {
@@ -213,7 +230,8 @@ func main() {
 			// protocol does not carry; it stays in process.
 			fatalUsage("-workers runs localsimi or stalta; -op %s is local only", *op)
 		}
-		runCluster(*workers, creq, policy, *out, nt, sampleRate)
+		runCluster(ctx, *workers, creq, policy, *out, nt, sampleRate)
+		printTrace(traceStore, traceRoot)
 		return
 	}
 
@@ -371,5 +389,19 @@ func main() {
 		for _, f := range rep.Quality.LostFiles {
 			fmt.Printf("WARNING:   lost member: %s\n", f)
 		}
+	}
+	printTrace(traceStore, traceRoot)
+}
+
+// printTrace ends the -trace root span and prints the recorded span tree.
+// A nil store (no -trace) is a no-op.
+func printTrace(store *trace.Store, root *trace.Span) {
+	if store == nil {
+		return
+	}
+	root.End()
+	for _, td := range store.Recent() {
+		fmt.Println()
+		trace.WriteTree(os.Stdout, td)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"dassa/internal/dasf"
 	"dassa/internal/dass"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/pfs"
 	"dassa/internal/wire"
 )
@@ -371,8 +372,11 @@ func (l *workerLink) dial() (*wire.Conn, error) {
 		return fail(fmt.Errorf("cluster: handshake read: %w", err))
 	}
 	var w wire.Welcome
-	if f.Type != wire.TypeWelcome || wire.DecodeInto(f, &w) != nil || w.Version != wire.Version {
+	if f.Type != wire.TypeWelcome || wire.DecodeInto(f, &w) != nil {
 		return fail(fmt.Errorf("cluster: %s: bad welcome", l.addr))
+	}
+	if err := wire.CheckVersion(w.Version); err != nil {
+		return fail(fmt.Errorf("cluster: %s: %w", l.addr, err))
 	}
 	l.mu.Lock()
 	l.conn, l.alive, l.name = conn, true, w.Worker
@@ -444,8 +448,27 @@ type outcome struct {
 
 // Run executes a distributed request: partition into shards, dispatch,
 // gather, merge. Cancellation of ctx poisons remote shards via cancel
-// frames; worker death re-dispatches or (under FailDegrade) masks.
+// frames; worker death re-dispatches or (under FailDegrade) masks. When
+// ctx carries a request trace, the whole run — dispatches, redispatches,
+// degrade decisions, and the workers' shipped-back fragments — lands in
+// it as one cross-process span tree.
 func (co *Coordinator) Run(ctx context.Context, req Request) (*Result, error) {
+	ctx, sp := trace.Start(ctx, "cluster.run")
+	if sp != nil {
+		sp.SetAttr("op", string(req.Op))
+	}
+	res, err := co.run(ctx, req)
+	if sp != nil && res != nil {
+		sp.SetAttrInt("shards", int64(res.Shards))
+		sp.SetAttrInt("workers", int64(res.Workers))
+		sp.SetAttrInt("redispatched", int64(res.Redispatched))
+		sp.SetAttrInt("degraded_shards", int64(res.DegradedShards))
+	}
+	sp.EndErr(err)
+	return res, err
+}
+
+func (co *Coordinator) run(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
 	if req.View == nil {
 		return nil, fmt.Errorf("cluster: request has no view")
@@ -520,8 +543,16 @@ func (co *Coordinator) Run(ctx context.Context, req Request) (*Result, error) {
 					oc.sh.idx, nshards, co.cfg.MaxAttempts, oc.err)
 			}
 			// Degrade: NaN-mask the shard and account the loss exactly
-			// like a failed local rank.
+			// like a failed local rank. The decision is itself a span, so
+			// the trace shows which shard was masked and why.
 			co.m.outcome("degraded")
+			_, gsp := trace.Start(ctx, "cluster.degrade")
+			if gsp != nil {
+				gsp.SetAttrInt("shard", int64(oc.sh.idx))
+				gsp.SetAttr("error", oc.err.Error())
+				gsp.SetStatus("degraded")
+			}
+			gsp.End()
 			res.DegradedShards++
 			nan := math.NaN()
 			for c := oc.sh.lo; c < oc.sh.hi; c++ {
@@ -606,10 +637,11 @@ func (co *Coordinator) runShard(ctx context.Context, id uint64, req Request, fil
 			oc.redispatches++
 			co.m.outcome("retried")
 			co.cfg.Log.Info("cluster: re-dispatching shard",
-				"id", id, "shard", sh.idx, "attempt", attempt+1, "worker", l.addr)
+				"id", id, "shard", sh.idx, "attempt", attempt+1, "worker", l.addr,
+				"trace_id", trace.IDFrom(ctx))
 		}
 		last = l
-		reply, sent := co.dispatch(ctx, id, req, files, sh, winChLo, winT0, winT1, halo, l)
+		reply, sent := co.attemptShard(ctx, id, req, files, sh, winChLo, winT0, winT1, halo, attempt, l)
 		if !sent {
 			continue // link raced to death; try another
 		}
@@ -627,6 +659,34 @@ func (co *Coordinator) runShard(ctx context.Context, id uint64, req Request, fil
 		oc.err = reply.err
 	}
 	return oc
+}
+
+// attemptShard runs one dispatch attempt under its own trace span: the
+// span carries worker/shard/attempt, a redispatch marker on attempts
+// after the first, and — on success — the worker's shipped-back span
+// fragment grafted under it.
+func (co *Coordinator) attemptShard(ctx context.Context, id uint64, req Request, files []wire.FileSpec, sh shard, winChLo, winT0, winT1, halo, attempt int, l *workerLink) (reply shardReply, sent bool) {
+	dctx, dsp := trace.Start(ctx, "cluster.dispatch")
+	defer func() {
+		if !sent {
+			dsp.SetStatus("error")
+			dsp.SetAttr("error", "link died before send")
+		}
+		dsp.EndErr(reply.err)
+	}()
+	if dsp != nil {
+		dsp.SetAttrInt("shard", int64(sh.idx))
+		dsp.SetAttrInt("attempt", int64(attempt+1))
+		dsp.SetAttr("worker", l.addr)
+		if attempt > 0 {
+			dsp.SetAttr("redispatch", "true")
+		}
+	}
+	reply, sent = co.dispatch(dctx, id, req, files, sh, winChLo, winT0, winT1, halo, l)
+	if sent && reply.err == nil {
+		trace.Merge(dctx, fromWireSpans(reply.res.Spans))
+	}
+	return reply, sent
 }
 
 // dispatch sends one shard request on l and waits for its reply, the
@@ -652,6 +712,10 @@ func (co *Coordinator) dispatch(ctx context.Context, id uint64, req Request, fil
 	if dl, ok := ctx.Deadline(); ok {
 		wreq.DeadlineUnixNano = dl.UnixNano()
 	}
+	// Propagate the request trace: the worker parents its fragment under
+	// this attempt's dispatch span (the context's current span).
+	wreq.TraceID = string(trace.IDFrom(ctx))
+	wreq.ParentSpan = trace.SpanFrom(ctx)
 	k := pendKey{id, sh.idx}
 	ch := co.register(k, l)
 	t0 := time.Now()

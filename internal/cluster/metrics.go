@@ -42,6 +42,9 @@ func newMetrics(reg *obs.Registry, co *Coordinator) *metrics {
 		func() float64 { return float64(wire.BytesIn()) }, obs.L("dir", "in"))
 	reg.CounterFunc("dassa_wire_bytes_total", "wire-protocol bytes sent",
 		func() float64 { return float64(wire.BytesOut()) }, obs.L("dir", "out"))
+	reg.CounterFunc("dassa_wire_version_mismatch_total",
+		"handshakes refused for an incompatible peer protocol version",
+		func() float64 { return float64(wire.VersionMismatches()) })
 	// Per-worker latency series are bounded by the -workers flag's
 	// cardinality, fixed at process start.
 	for _, l := range co.links {

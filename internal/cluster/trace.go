@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"dassa/internal/obs/trace"
+	"dassa/internal/wire"
+)
+
+// toWireSpans converts a worker's locally recorded trace fragment into
+// the wire mirror for shipping in a ShardResult.
+func toWireSpans(spans []trace.SpanData) []wire.Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]wire.Span, len(spans))
+	for i, sd := range spans {
+		ws := wire.Span{
+			SpanID: sd.SpanID, Parent: sd.Parent, Name: sd.Name, Process: sd.Process,
+			StartUnixNano: sd.StartUnixNano, DurNS: sd.DurNS, Status: sd.Status,
+		}
+		for _, a := range sd.Attrs {
+			ws.Attrs = append(ws.Attrs, wire.SpanAttr{K: a.K, V: a.V})
+		}
+		out[i] = ws
+	}
+	return out
+}
+
+// fromWireSpans converts shipped spans back for grafting into the
+// coordinator's live trace.
+func fromWireSpans(spans []wire.Span) []trace.SpanData {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]trace.SpanData, len(spans))
+	for i, ws := range spans {
+		sd := trace.SpanData{
+			SpanID: ws.SpanID, Parent: ws.Parent, Name: ws.Name, Process: ws.Process,
+			StartUnixNano: ws.StartUnixNano, DurNS: ws.DurNS, Status: ws.Status,
+		}
+		for _, a := range ws.Attrs {
+			sd.Attrs = append(sd.Attrs, trace.Attr{K: a.K, V: a.V})
+		}
+		out[i] = sd
+	}
+	return out
+}

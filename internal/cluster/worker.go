@@ -16,6 +16,7 @@ import (
 	"dassa/internal/dass"
 	"dassa/internal/detect"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/pfs"
 	"dassa/internal/wire"
 )
@@ -265,8 +266,12 @@ func (w *Worker) handle(nc net.Conn) {
 		return
 	}
 	var hello wire.Hello
-	if err := wire.DecodeInto(f, &hello); err != nil || hello.Version != wire.Version {
+	if err := wire.DecodeInto(f, &hello); err != nil {
 		w.cfg.Log.Warn("cluster: bad hello", "err", err)
+		return
+	}
+	if err := wire.CheckVersion(hello.Version); err != nil {
+		w.cfg.Log.Warn("cluster: handshake rejected", "from", hello.From, "err", err)
 		return
 	}
 	if err := c.SendEnvelope(wire.TypeWelcome, wire.Welcome{Worker: w.cfg.Name, Version: wire.Version}); err != nil {
@@ -345,12 +350,13 @@ func (w *Worker) runJob(c *wire.Conn, st *connState, req wire.ShardRequest) {
 	}
 
 	start := time.Now()
-	res, data, err := executeShard(ctx, req, w.cfg.Cores)
+	res, data, err := w.executeTraced(ctx, req)
 	if err != nil {
 		cancelled := dass.IsCancellation(err) ||
 			errors.Is(err, errCancelled) || errors.Is(err, errConnDead)
 		w.cfg.Log.Warn("cluster: shard failed",
-			"id", req.ID, "shard", req.Shard, "cancelled", cancelled, "err", err)
+			"id", req.ID, "shard", req.Shard, "cancelled", cancelled,
+			"trace_id", req.TraceID, "err", err)
 		_ = c.SendEnvelope(wire.TypeShardError, wire.ShardError{
 			ID: req.ID, Shard: req.Shard, Msg: err.Error(), Cancelled: cancelled,
 		})
@@ -366,10 +372,33 @@ func (w *Worker) runJob(c *wire.Conn, st *connState, req wire.ShardRequest) {
 		return
 	}
 	if err := c.Send(f); err != nil {
-		w.cfg.Log.Warn("cluster: result send failed", "id", req.ID, "shard", req.Shard, "err", err)
+		w.cfg.Log.Warn("cluster: result send failed",
+			"id", req.ID, "shard", req.Shard, "trace_id", req.TraceID, "err", err)
 	} else {
-		w.cfg.Log.Debug("cluster: result sent", "id", req.ID, "shard", req.Shard)
+		w.cfg.Log.Info("cluster: shard done",
+			"id", req.ID, "shard", req.Shard, "trace_id", req.TraceID,
+			"wall_ms", res.WallNS/1e6)
 	}
+}
+
+// executeTraced runs executeShard under the request's trace, when it
+// carries one: the worker records its fragment locally (rooted at
+// "worker.shard", parented under the coordinator's dispatch span) and
+// ships the spans back in the result for reassembly.
+func (w *Worker) executeTraced(ctx context.Context, req wire.ShardRequest) (wire.ShardResult, []float64, error) {
+	if req.TraceID == "" {
+		return executeShard(ctx, req, w.cfg.Cores)
+	}
+	ctx, root, rem := trace.StartRemote(ctx, trace.ID(req.TraceID), w.cfg.Name, req.ParentSpan, "worker.shard")
+	root.SetAttrInt("shard", int64(req.Shard))
+	root.SetAttr("op", req.Op)
+	res, data, err := executeShard(ctx, req, w.cfg.Cores)
+	root.EndErr(err)
+	if err != nil {
+		return res, data, err
+	}
+	res.Spans = toWireSpans(rem.Spans())
+	return res, data, nil
 }
 
 // executeShard runs one shard's slice of the pipeline: rebuild the view,

@@ -25,6 +25,7 @@ import (
 	"dassa/internal/haee"
 	"dassa/internal/mpi"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/pfs"
 )
 
@@ -244,9 +245,30 @@ func DefaultLocalSimi(rate float64) LocalSimiOptions {
 	}
 }
 
+// traceOp opens a compute span named op under the view's request trace (a
+// no-op for untraced views, costing nothing) and rebinds the view so the
+// engine's phase spans nest under it. The caller owns the returned span.
+func traceOp(v *dass.View, op string) (*dass.View, *trace.Span) {
+	ctx, sp := trace.Start(v.Context(), op)
+	if sp == nil {
+		return v, nil
+	}
+	return v.WithContext(ctx), sp
+}
+
 // LocalSimilarity computes the local-similarity map over the view and
 // returns it along with the detected events.
 func (f *Framework) LocalSimilarity(v *dass.View, opt LocalSimiOptions) (*dasf.Array2D, []detect.Region, Report, error) {
+	v, sp := traceOp(v, "core.localsimi")
+	out, regions, rep, err := f.localSimilarity(v, opt)
+	if sp != nil {
+		sp.SetAttrInt("events", int64(len(regions)))
+	}
+	sp.EndErr(err)
+	return out, regions, rep, err
+}
+
+func (f *Framework) localSimilarity(v *dass.View, opt LocalSimiOptions) (*dasf.Array2D, []detect.Region, Report, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, nil, Report{}, err
 	}
@@ -370,6 +392,13 @@ func (f *Framework) StackedInterferometry(v *dass.View, opt StackedInterferometr
 // the single-channel baseline the local-similarity method outperforms on
 // dense arrays.
 func (f *Framework) STALTA(v *dass.View, p detect.STALTAParams, outPath string) (*dasf.Array2D, Report, error) {
+	v, sp := traceOp(v, "core.stalta")
+	out, rep, err := f.stalta(v, p, outPath)
+	sp.EndErr(err)
+	return out, rep, err
+}
+
+func (f *Framework) stalta(v *dass.View, p detect.STALTAParams, outPath string) (*dasf.Array2D, Report, error) {
 	if err := p.Validate(); err != nil {
 		return nil, Report{}, err
 	}
@@ -388,6 +417,13 @@ func (f *Framework) STALTA(v *dass.View, p detect.STALTAParams, outPath string) 
 // engine. ghostChannels is the stencil's channel reach; timeStride > 1
 // evaluates every timeStride-th sample.
 func (f *Framework) Apply(v *dass.View, ghostChannels, timeStride int, udf func(s *arrayudf.Stencil) float64, outPath string) (*dasf.Array2D, Report, error) {
+	v, sp := traceOp(v, "core.apply")
+	out, rep, err := f.apply(v, ghostChannels, timeStride, udf, outPath)
+	sp.EndErr(err)
+	return out, rep, err
+}
+
+func (f *Framework) apply(v *dass.View, ghostChannels, timeStride int, udf func(s *arrayudf.Stencil) float64, outPath string) (*dasf.Array2D, Report, error) {
 	if udf == nil {
 		return nil, Report{}, fmt.Errorf("core: Apply needs a UDF")
 	}

@@ -7,6 +7,7 @@ import (
 
 	"dassa/internal/dasf"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/pfs"
 )
 
@@ -244,8 +245,21 @@ func (v *View) Read() (*dasf.Array2D, pfs.Trace, error) {
 // member that stays bad after retries is masked with NaN over its time span
 // (all view channels) and reported as a Gap in view-relative coordinates;
 // the error return is then always nil — except for cancellation, which is
-// returned as an error under either policy (see WithContext).
+// returned as an error under either policy (see WithContext). When the
+// view's context carries a request trace, the read lands in it as a
+// "dass.read" span.
 func (v *View) ReadPolicy(policy FailPolicy) (*dasf.Array2D, pfs.Trace, []Gap, error) {
+	_, sp := trace.Start(v.Context(), "dass.read")
+	out, tr, gaps, err := v.readPolicy(policy)
+	if sp != nil {
+		sp.SetAttrInt("bytes_read", tr.BytesRead)
+		sp.SetAttrInt("gaps", int64(len(gaps)))
+	}
+	sp.EndErr(err)
+	return out, tr, gaps, err
+}
+
+func (v *View) readPolicy(policy FailPolicy) (*dasf.Array2D, pfs.Trace, []Gap, error) {
 	var tr pfs.Trace
 	tr.Processes = 1
 	nch, nt := v.Shape()

@@ -12,6 +12,8 @@
 package haee
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"dassa/internal/dass"
 	"dassa/internal/mpi"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/omp"
 	"dassa/internal/pfs"
 )
@@ -270,6 +273,7 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 			panic(fmt.Errorf("haee: %s: %w", phase, err))
 		}
 	}
+	runStart := time.Now()
 	_, err := mpi.Run(worldSize, func(c *mpi.Comm) {
 		team := omp.NewTeam(threads)
 
@@ -385,8 +389,39 @@ func (e *Engine) run(v *dass.View, spec arrayudf.Spec,
 	rep.ExchangeTime = spans.Max(obs.PhaseExchange)
 	rep.Phases = spans.Report()
 	spans.ObserveInto(obs.Default())
+	annotateTrace(v.Context(), runStart, &rep)
 	if err != nil {
+		var re *mpi.RankError
+		if errors.As(err, &re) && re.TraceID == "" {
+			re.TraceID = string(trace.IDFrom(v.Context()))
+		}
 		return rep, err
 	}
 	return rep, runErr
+}
+
+// annotateTrace lands the engine's phase breakdown in the request trace (if
+// the view carries one) as completed child spans. Phase wall times are
+// max-across-ranks, so the spans are laid out back to back from the run's
+// start — an approximation of the critical path, not per-rank timelines.
+func annotateTrace(ctx context.Context, runStart time.Time, rep *Report) {
+	at := runStart
+	for _, ph := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"haee.read", rep.ReadTime},
+		{"haee.compute", rep.ComputeTime},
+		{"haee.write", rep.WriteTime},
+	} {
+		if ph.d <= 0 {
+			continue
+		}
+		trace.Add(ctx, ph.name, at, ph.d)
+		at = at.Add(ph.d)
+	}
+	// Exchange overlaps the read phase rather than following it.
+	if rep.ExchangeTime > 0 {
+		trace.Add(ctx, "haee.exchange", runStart, rep.ExchangeTime)
+	}
 }

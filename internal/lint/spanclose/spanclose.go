@@ -16,7 +16,8 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "spanclose",
-	Doc: "every Spans.Start must be matched by End on all return paths " +
+	Doc: "every span constructor (Spans.Start, trace.Start/New/StartRemote) " +
+		"must be matched by End or EndErr on all return paths " +
 		"(including panics) — prefer `defer sp.End()`",
 	Run: run,
 }
@@ -30,42 +31,65 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isStartCall matches a call to method Start on a type named *Spans
-// returning a type named Span — the obs API shape, without hard-coding
-// the import path so testdata stand-ins are exercised too.
-func isStartCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+// spanResult matches a call that creates a span: a callee named Start,
+// New, or StartRemote with exactly one result whose (possibly pointer)
+// named type is Span — the obs.Spans method shape and the trace package's
+// multi-result constructors (`ctx, sp := trace.Start(...)`), without
+// hard-coding import paths so testdata stand-ins are exercised too.
+// Returns the Span's index among the call's results.
+func spanResult(pass *analysis.Pass, call *ast.CallExpr) (idx, results int, ok bool) {
 	fn := astutil.Callee(pass.TypesInfo, call)
-	if fn == nil || fn.Name() != "Start" {
-		return false
+	if fn == nil {
+		return 0, 0, false
 	}
-	recv := astutil.RecvNamed(fn)
-	if recv == nil || recv.Obj().Name() != "Spans" {
-		return false
+	switch fn.Name() {
+	case "Start", "New", "StartRemote":
+	default:
+		return 0, 0, false
 	}
-	sig := fn.Type().(*types.Signature)
-	if sig.Results().Len() != 1 {
-		return false
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return 0, 0, false
 	}
-	res := astutil.NamedOf(sig.Results().At(0).Type())
-	return res != nil && res.Obj().Name() == "Span"
+	idx = -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		res := astutil.NamedOf(sig.Results().At(i).Type())
+		if res == nil || res.Obj().Name() != "Span" {
+			continue
+		}
+		if idx >= 0 {
+			return 0, 0, false // two Span results: ownership is ambiguous
+		}
+		idx = i
+	}
+	if idx < 0 {
+		return 0, 0, false
+	}
+	return idx, sig.Results().Len(), true
 }
 
 func checkUnit(pass *analysis.Pass, u astutil.FuncUnit) {
 	// Walk only this unit's own statements; a span started in a closure is
 	// that closure's responsibility.
-	var starts []*ast.CallExpr
+	type start struct {
+		call         *ast.CallExpr
+		idx, results int
+	}
+	var starts []start
 	astutil.WalkUnit(u.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isStartCall(pass, call) {
-			starts = append(starts, call)
+		if call, ok := n.(*ast.CallExpr); ok {
+			if idx, results, ok := spanResult(pass, call); ok {
+				starts = append(starts, start{call, idx, results})
+			}
 		}
 		return true
 	})
-	for _, call := range starts {
-		checkStart(pass, u, call)
+	for _, s := range starts {
+		checkStart(pass, u, s.call, s.idx, s.results)
 	}
 }
 
-func checkStart(pass *analysis.Pass, u astutil.FuncUnit, call *ast.CallExpr) {
+func checkStart(pass *analysis.Pass, u astutil.FuncUnit, call *ast.CallExpr, idx, results int) {
 	// Chained `x.Start(...).End()` ends immediately: fine.
 	if parentIsSelector(u.Body, call) {
 		return
@@ -75,7 +99,7 @@ func checkStart(pass *analysis.Pass, u astutil.FuncUnit, call *ast.CallExpr) {
 	if escapesUnassigned(u.Body, call) {
 		return
 	}
-	assign, lhs := assignmentOf(u.Body, call)
+	assign, lhs := assignmentOf(u.Body, call, idx, results)
 	if assign == nil || lhs == nil || lhs.Name == "_" {
 		pass.Reportf(call.Pos(),
 			"spanclose: Span result discarded; the phase time is never recorded — "+
@@ -168,7 +192,7 @@ func (t *spanTracker) isObjIdent(e ast.Expr) bool {
 
 func (t *spanTracker) isEndOnObj(call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "End" {
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndErr") {
 		return false
 	}
 	return t.isObjIdent(sel.X)
@@ -212,9 +236,10 @@ func parentIsSelector(body *ast.BlockStmt, call *ast.CallExpr) bool {
 	return found
 }
 
-// assignmentOf finds the `sp := x.Start(...)` statement and its single
-// LHS identifier, if that is how the call's result is consumed.
-func assignmentOf(body *ast.BlockStmt, call *ast.CallExpr) (*ast.AssignStmt, *ast.Ident) {
+// assignmentOf finds the `sp := x.Start(...)` (or multi-value
+// `ctx, sp := trace.Start(...)`) statement and the identifier bound to the
+// call's Span result, if that is how the result is consumed.
+func assignmentOf(body *ast.BlockStmt, call *ast.CallExpr, idx, results int) (*ast.AssignStmt, *ast.Ident) {
 	var as *ast.AssignStmt
 	ast.Inspect(body, func(n ast.Node) bool {
 		if a, ok := n.(*ast.AssignStmt); ok && len(a.Rhs) == 1 && ast.Unparen(a.Rhs[0]) == call {
@@ -223,10 +248,10 @@ func assignmentOf(body *ast.BlockStmt, call *ast.CallExpr) (*ast.AssignStmt, *as
 		}
 		return as == nil
 	})
-	if as == nil || len(as.Lhs) != 1 {
+	if as == nil || len(as.Lhs) != results {
 		return as, nil
 	}
-	id, _ := as.Lhs[0].(*ast.Ident)
+	id, _ := as.Lhs[idx].(*ast.Ident)
 	return as, id
 }
 

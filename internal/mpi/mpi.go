@@ -99,9 +99,15 @@ func (c *Comm) World() *World { return c.world }
 type RankError struct {
 	Rank int
 	Err  any
+	// TraceID, when non-empty, ties the failure to the distributed request
+	// trace it occurred under; engines stamp it after Run returns.
+	TraceID string
 }
 
 func (e *RankError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("mpi: rank %d panicked: %v (trace %s)", e.Rank, e.Err, e.TraceID)
+	}
 	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Err)
 }
 

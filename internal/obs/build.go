@@ -1,0 +1,13 @@
+package obs
+
+// Build identity, stamped at link time:
+//
+//	go build -ldflags "-X dassa/internal/obs.BuildVersion=v0.8.0 \
+//	                   -X dassa/internal/obs.BuildCommit=$(git rev-parse --short HEAD)"
+//
+// /status reports them and every trace's root span carries them, so a
+// captured trace names the exact binary that produced it.
+var (
+	BuildVersion = "dev"
+	BuildCommit  = "unknown"
+)

@@ -12,6 +12,7 @@ import (
 
 	"dassa/internal/dass"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 )
 
 // IngestConfig sizes the polling ingester.
@@ -187,7 +188,11 @@ func (ing *Ingester) ScanOnce() error {
 		return err
 	}
 	entries := cat.Entries()
-	quarEvents, readmitted, quarList := ing.updateQuarantine(t0, entries, bad)
+	// One trace ID per scan cycle: every quarantine decision this pass
+	// makes logs the same id, so a burst of state changes reads as one
+	// correlated event rather than interleaved noise.
+	scanID := trace.NewID()
+	quarEvents, readmitted, quarList := ing.updateQuarantine(t0, entries, bad, scanID)
 
 	// Retention: keep the newest N files in the served catalog. Trimmed
 	// files drop out of `seen` below, so the diff counts them as removed
@@ -296,7 +301,7 @@ func (ing *Ingester) quarantineSkip(now time.Time) func(path string) bool {
 // exponentially; a file that scanned clean is readmitted (its entry simply
 // dies); a file that vanished from disk is forgotten. Returns the published
 // snapshot plus this scan's entry/readmit counts.
-func (ing *Ingester) updateQuarantine(now time.Time, entries []dass.Entry, bad []dass.BadFile) (events, readmitted int64, list []QuarantinedFile) {
+func (ing *Ingester) updateQuarantine(now time.Time, entries []dass.Entry, bad []dass.BadFile, scanID trace.ID) (events, readmitted int64, list []QuarantinedFile) {
 	if ing.cfg.QuarantineAfter <= 0 {
 		return 0, 0, nil
 	}
@@ -322,7 +327,8 @@ func (ing *Ingester) updateQuarantine(now time.Time, entries []dass.Entry, bad [
 			st.nextProbe = now.Add(st.backoff)
 			events++
 			ing.log.Warn("file quarantined",
-				"path", b.Path, "fails", st.fails, "backoff", st.backoff, "err", st.lastErr)
+				"path", b.Path, "fails", st.fails, "backoff", st.backoff, "err", st.lastErr,
+				"trace_id", scanID)
 		}
 	}
 	for _, e := range entries {
@@ -331,7 +337,8 @@ func (ing *Ingester) updateQuarantine(now time.Time, entries []dass.Entry, bad [
 			// transient): readmit by forgetting it.
 			if st.quarantined {
 				readmitted++
-				ing.log.Info("file readmitted", "path", e.Path, "fails", st.fails)
+				ing.log.Info("file readmitted", "path", e.Path, "fails", st.fails,
+					"trace_id", scanID)
 			}
 			delete(ing.quar, e.Path)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"dassa/internal/dass"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/pfs"
 )
 
@@ -180,21 +181,37 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// instrument wraps a route handler with latency/count metrics and one
-// structured access-log line per request.
+// instrument wraps a route handler with latency/count metrics, one
+// structured access-log line per request, and the request trace's root
+// span. The trace ID comes from the client's X-Dassa-Trace header when it
+// carries one (so a caller can stitch our trace into its own), is minted
+// fresh otherwise, and is always echoed back on the response.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	ctr := s.httpReqs[route]
 	lat := s.httpLat[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
+		id := trace.OrNew(r.Header.Get(trace.Header))
+		sw.Header().Set(trace.Header, string(id))
+		ctx, root := trace.New(r.Context(), s.traces, "dassd", id, "http "+route)
+		root.SetAttr("route", route)
+		root.SetAttr("build_version", obs.BuildVersion)
+		root.SetAttr("build_commit", obs.BuildCommit)
+		root.SetAttrInt("uptime_seconds", int64(time.Since(s.start).Seconds()))
+		h(sw, r.WithContext(ctx))
 		d := time.Since(t0)
+		if sw.code >= 400 {
+			root.SetStatus("error")
+			root.SetAttrInt("http_status", int64(sw.code))
+		}
+		root.End()
 		ctr.Inc()
 		lat.Observe(d.Seconds())
 		shed := sw.code == http.StatusTooManyRequests
 		s.log.Info("request",
-			"route", route, "status", sw.code, "dur_ms", d.Milliseconds(), "shed", shed)
+			"route", route, "status", sw.code, "dur_ms", d.Milliseconds(), "shed", shed,
+			"trace_id", id)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"dassa/internal/dass"
 	"dassa/internal/detect"
 	"dassa/internal/obs"
+	"dassa/internal/obs/trace"
 	"dassa/internal/pfs"
 )
 
@@ -59,6 +60,11 @@ type Config struct {
 	// Registry receives the daemon's metrics; nil uses obs.Default(), so
 	// storage-layer counters and server counters land on one /metrics page.
 	Registry *obs.Registry
+	// TraceRecent/TraceSlowest size the in-memory request-trace store: a
+	// ring of the most recent traces plus the slowest outliers retained
+	// past eviction. Zero means trace.DefaultRecent / trace.DefaultSlowest.
+	TraceRecent  int
+	TraceSlowest int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// daemon's mux. Off by default: profiling endpoints expose internals.
 	EnablePprof bool
@@ -171,6 +177,7 @@ type Server struct {
 	panics     atomic.Int64
 	cancelled  atomic.Int64
 	start      time.Time
+	traces     *trace.Store
 
 	log      *slog.Logger
 	reg      *obs.Registry
@@ -197,11 +204,12 @@ func NewServer(cfg Config) *Server {
 			CoresPerNode: cfg.CoresPerNode,
 			FailPolicy:   dass.FailDegrade,
 		}),
-		adm:   newAdmission(cfg),
-		jobs:  make(chan struct{}, cfg.DetectJobs),
-		start: time.Now(),
-		log:   obs.OrNop(cfg.Log),
-		reg:   reg,
+		adm:    newAdmission(cfg),
+		jobs:   make(chan struct{}, cfg.DetectJobs),
+		start:  time.Now(),
+		traces: trace.NewStore(cfg.TraceRecent, cfg.TraceSlowest),
+		log:    obs.OrNop(cfg.Log),
+		reg:    reg,
 	}
 	s.registerMetrics()
 	s.initCluster()
@@ -233,6 +241,10 @@ func (s *Server) Handler() http.Handler {
 	// the request-latency histograms).
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	// Trace inspection also stays outside instrument: reading traces must
+	// not mint traces, or the store would fill with views of itself.
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	if s.cfg.EnablePprof {
 		mountPprof(mux)
 	}
@@ -512,6 +524,11 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.quality.recordRead(tr, gaps)
+	if sp := trace.Current(r.Context()); sp != nil {
+		sp.SetAttrInt("files", int64(len(entries)))
+		sp.SetAttrInt("gaps", int64(len(gaps)))
+		sp.SetAttr("distributed", strconv.FormatBool(distributed))
+	}
 	resp := map[string]any{
 		"num_channels": arr.Channels,
 		"num_samples":  arr.Samples,
@@ -662,6 +679,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		s.quality.recordReport(rep.Quality)
 	}
 
+	if sp := trace.Current(r.Context()); sp != nil {
+		sp.SetAttr("op", op)
+		sp.SetAttrInt("files", int64(len(entries)))
+		sp.SetAttrInt("events", int64(len(regions)))
+		sp.SetAttr("distributed", strconv.FormatBool(distributed))
+	}
 	events := make([]regionJSON, len(regions))
 	for i, reg := range regions {
 		events[i] = regionJSON{TLo: reg.TLo, THi: reg.THi, ChLo: reg.ChLo, ChHi: reg.ChHi, Peak: reg.Peak}
@@ -714,7 +737,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		bad = append(bad, b.Path)
 	}
 	body := map[string]any{
-		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"uptime_ms":      time.Since(s.start).Milliseconds(),
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"build": map[string]any{
+			"version": obs.BuildVersion,
+			"commit":  obs.BuildCommit,
+		},
 		"catalog":   catalog,
 		"ingest":    s.ing.Stats(),
 		"cache":     s.cache.Stats(),

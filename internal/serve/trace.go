@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"net/http"
+
+	"dassa/internal/obs/trace"
+)
+
+// Traces exposes the daemon's trace store (tests and embedding callers).
+func (s *Server) Traces() *trace.Store { return s.traces }
+
+// handleTraces is GET /debug/traces: store counters plus summaries of the
+// recent ring and the slowest-retained outliers, newest/slowest first.
+// Summaries only — full span lists come from /debug/traces/{id}, so a
+// scrape of this index stays small however deep individual traces are.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	summarize := func(tds []*trace.TraceData) []trace.Summary {
+		out := make([]trace.Summary, len(tds))
+		for i, td := range tds {
+			out[i] = td.Summary()
+		}
+		return out
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stats":   s.traces.Stats(),
+		"recent":  summarize(s.traces.Recent()),
+		"slowest": summarize(s.traces.Slowest()),
+	})
+}
+
+// handleTraceByID is GET /debug/traces/{id}: the full reassembled trace —
+// every span, including the fragments workers shipped back over the wire.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id, ok := trace.ParseID(r.PathValue("id"))
+	if !ok {
+		badRequest(w, "malformed trace id %q", r.PathValue("id"))
+		return
+	}
+	td := s.traces.Get(id)
+	if td == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": "trace not found (evicted or never recorded)",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, td)
+}

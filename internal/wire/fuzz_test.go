@@ -25,6 +25,18 @@ func FuzzWireDecode(f *testing.F) {
 	res, _ := EncodeResult(ShardResult{ID: 1, Channels: 2, Samples: 2,
 		Gaps: []Gap{{File: "a.dasf", ChHi: 1, THi: 2}}}, []float64{1, 2, math.NaN(), 4})
 	f.Add(AppendFrame(nil, res))
+	// Trace-bearing seeds: the omitempty trace fields must mutate like any
+	// other envelope content without ever panicking a pre-trace decoder.
+	treq, _ := Encode(TypeShardRequest, ShardRequest{
+		ID: 2, Shard: 1, Op: "read", ChLo: 0, ChHi: 2, T0: 0, T1: 4,
+		TraceID: "4be1a7c0ffee4be1a7c0ffee4be1a7c0", ParentSpan: 0xdeadbeef,
+	})
+	f.Add(AppendFrame(nil, treq))
+	tres, _ := EncodeResult(ShardResult{ID: 2, Shard: 1, Channels: 1, Samples: 2,
+		Spans: []Span{{SpanID: 7, Parent: 3, Name: "worker.shard", Process: "w1",
+			StartUnixNano: 1700000000, DurNS: 42, Status: "error",
+			Attrs: []SpanAttr{{K: "shard", V: "1"}}}}}, []float64{1, 2})
+	f.Add(AppendFrame(nil, tres))
 	cancel, _ := Encode(TypeCancel, Cancel{ID: 9})
 	f.Add(AppendFrame(nil, cancel))
 	f.Add([]byte{magic0, magic1, Version, byte(TypeHeartbeat), 0, 0, 0, 0})

@@ -184,6 +184,35 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return Frame{Type: t, Payload: payload}, nil
 }
 
+// VersionError reports a handshake peer announcing an incompatible
+// protocol version. Versions are single majors; there is no negotiation —
+// a mismatch is a clean, typed refusal.
+type VersionError struct {
+	Mine, Peer int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: peer protocol version %d incompatible with %d", e.Peer, e.Mine)
+}
+
+// versionMismatches counts handshakes rejected for a version mismatch,
+// process-wide — dassa_wire_version_mismatch_total exposes it.
+var versionMismatches atomic.Int64
+
+// VersionMismatches returns how many handshakes this process refused for
+// an incompatible peer version.
+func VersionMismatches() int64 { return versionMismatches.Load() }
+
+// CheckVersion validates a handshake peer's announced protocol version
+// (Hello.Version / Welcome.Version) against ours, counting rejections.
+func CheckVersion(peer int) error {
+	if peer != Version {
+		versionMismatches.Add(1)
+		return &VersionError{Mine: Version, Peer: peer}
+	}
+	return nil
+}
+
 // FileSpec names one physical member file of a shard's view — exactly a
 // VCA member: the worker reconstructs the virtual array from these and
 // reads the file bytes itself (the cluster assumes the DAS archive is on a
@@ -235,6 +264,12 @@ type ShardRequest struct {
 	Stride int `json:"stride,omitempty"`
 	STA    int `json:"sta,omitempty"`
 	LTA    int `json:"lta,omitempty"`
+	// TraceID/ParentSpan propagate request tracing across the process
+	// boundary: the worker records its shard spans under ParentSpan and
+	// ships them back in ShardResult.Spans. Both are omitempty, so frames
+	// decode cleanly against peers that predate tracing.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan uint64 `json:"parent_span,string,omitempty"`
 }
 
 // Gap mirrors dass.Gap on the wire: one NaN-masked rectangle, channels in
@@ -260,6 +295,28 @@ type Trace struct {
 	Masked    int64 `json:"masked,omitempty"`
 }
 
+// SpanAttr is one key/value annotation on a wire Span.
+type SpanAttr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// Span mirrors one completed trace span on the wire: the worker's locally
+// recorded fragment of a request trace, shipped home in ShardResult.Spans
+// so the coordinator can reassemble one cross-process tree. Span IDs ride
+// as JSON strings (like the trace package's export) so no consumer rounds
+// them through float64.
+type Span struct {
+	SpanID        uint64     `json:"span_id,string"`
+	Parent        uint64     `json:"parent,string,omitempty"`
+	Name          string     `json:"name"`
+	Process       string     `json:"process,omitempty"`
+	StartUnixNano int64      `json:"start_unix_nano"`
+	DurNS         int64      `json:"dur_ns"`
+	Status        string     `json:"status,omitempty"`
+	Attrs         []SpanAttr `json:"attrs,omitempty"`
+}
+
 // ShardResult is a completed shard: a JSON header followed by the raw
 // row-major float64 block (channels × samples, little endian).
 type ShardResult struct {
@@ -270,6 +327,9 @@ type ShardResult struct {
 	Gaps     []Gap  `json:"gaps,omitempty"`
 	Trace    Trace  `json:"trace"`
 	WallNS   int64  `json:"wall_ns"`
+	// Spans is the worker's trace fragment (omitempty: absent both for
+	// untraced requests and for peers that predate tracing).
+	Spans []Span `json:"spans,omitempty"`
 }
 
 // ShardError reports a shard the worker could not complete. Cancelled

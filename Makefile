@@ -29,7 +29,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Project-invariant analyzers (cmd/dassalint) + their self-tests.
+# Project-invariant analyzers (cmd/dassalint) + their self-tests. The
+# suite lints _test.go files too via per-package test variants; add
+# -tests=false for the narrow pre-variant behavior, -json for machine-
+# readable findings.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dassalint ./...
@@ -52,6 +55,7 @@ fuzz:
 	$(GO) test ./internal/dasf -run='^$$' -fuzz='^FuzzOpenAppendedVCA$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
 	$(GO) test ./internal/dass -run='^$$' -fuzz='^FuzzIndexCache$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
 	$(GO) test ./internal/dass -run='^$$' -fuzz='^FuzzSearchRegex$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
+	$(GO) test ./internal/lint -run='^$$' -fuzz='^FuzzFindingsJSON$$' -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -33,6 +33,7 @@ func binaries(t *testing.T) string {
 		}
 		return binDir
 	}
+	//dassalint:ignore lockio once-per-process binary build; the lock is the build singleflight
 	dir, err := os.MkdirTemp("", "dassa-bin")
 	if err != nil {
 		t.Fatal(err)

@@ -51,6 +51,7 @@ func startDaemon(t *testing.T, name string, args ...string) (*exec.Cmd, string, 
 	if addr == "" {
 		t.Fatalf("%s never reported its address", name)
 	}
+	//dassalint:ignore goleak drain ends at pipe EOF when the daemon process exits
 	go func() {
 		for sc.Scan() {
 		}

@@ -61,6 +61,7 @@ func TestServerDaemon(t *testing.T) {
 	if base == "" {
 		t.Fatalf("dassd never reported its address")
 	}
+	//dassalint:ignore goleak drain ends at pipe EOF when the daemon process exits
 	go func() { // drain the rest so the daemon never blocks on stdout
 		for sc.Scan() {
 		}
@@ -262,6 +263,7 @@ func TestServerOverloadSheds(t *testing.T) {
 	if base == "" {
 		t.Fatal("dassd never reported its address")
 	}
+	//dassalint:ignore goleak drain ends at pipe EOF when the daemon process exits
 	go func() {
 		for sc.Scan() {
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"dassa/internal/cluster"
@@ -77,6 +78,10 @@ func RunCluster(o Options) ([]ClusterRow, error) {
 func runClusterLayout(v *dass.View, o Options, n int) (ClusterRow, error) {
 	var addrs []string
 	var workers []*cluster.Worker
+	// Defers run LIFO: Close severs every listener first, then Wait joins
+	// the serve goroutines before the bench row is returned.
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	defer func() {
 		for _, w := range workers {
 			w.Close()
@@ -91,7 +96,11 @@ func runClusterLayout(v *dass.View, o Options, n int) (ClusterRow, error) {
 			Cores:          max(o.CoresPerNode/n, 1),
 			HeartbeatEvery: 200 * time.Millisecond,
 		})
-		go func() { _ = w.Serve(ln) }()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Serve(ln)
+		}()
 		workers = append(workers, w)
 		addrs = append(addrs, ln.Addr().String())
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -179,10 +180,10 @@ func TestOOMPropagation(t *testing.T) {
 	}
 	fw := New(Config{Nodes: 1, CoresPerNode: 4, PureMPI: true, NodeMemoryBytes: 1})
 	opt := DefaultInterferometry(cfg.SampleRate)
-	if _, _, err := fw.Interferometry(v, opt); err != ErrOutOfMemory {
+	if _, _, err := fw.Interferometry(v, opt); !errors.Is(err, ErrOutOfMemory) {
 		t.Errorf("err = %v, want ErrOutOfMemory", err)
 	}
-	if _, _, _, err := fw.LocalSimilarity(v, DefaultLocalSimi(cfg.SampleRate)); err != ErrOutOfMemory {
+	if _, _, _, err := fw.LocalSimilarity(v, DefaultLocalSimi(cfg.SampleRate)); !errors.Is(err, ErrOutOfMemory) {
 		t.Errorf("localsimi err = %v, want ErrOutOfMemory", err)
 	}
 }

@@ -37,7 +37,11 @@ func TestParallelWriteRoundTrip(t *testing.T) {
 				errs[w] = err
 				return
 			}
-			defer pw.Close()
+			defer func() {
+				if err := pw.Close(); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}()
 			errs[w] = pw.WriteRows(w*3, rows)
 		}(3 - w) // reversed order on purpose
 	}
@@ -114,7 +118,11 @@ func TestParallelWriteValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pw.Close()
+	defer func() {
+		if err := pw.Close(); err != nil {
+			t.Errorf("close after rejected writes: %v", err)
+		}
+	}()
 	if err := pw.WriteRows(0, NewArray2D(2, 5)); err == nil {
 		t.Error("partial rows should fail")
 	}

@@ -27,10 +27,8 @@ func TestCancelMidCollectiveRead(t *testing.T) {
 	installChaos(t, faults.Config{Seed: 3, SlowProb: 1, SlowLatency: 30 * time.Second}, 0)
 
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(50 * time.Millisecond) // let the ranks reach their reads
-		cancel()
-	}()
+	timer := time.AfterFunc(50*time.Millisecond, cancel) // let the ranks reach their reads
+	defer timer.Stop()
 	defer cancel()
 	cv := v.WithContext(ctx)
 

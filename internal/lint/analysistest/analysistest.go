@@ -2,6 +2,10 @@
 // checks its diagnostics against `// want "regexp"` comments, mirroring
 // the x/tools harness of the same name: every want must be matched by a
 // diagnostic on its line, and every diagnostic must be claimed by a want.
+// In-package _test.go fixtures are loaded too (loader.LoadDir includes
+// them), and //dassalint:ignore directives suppress diagnostics exactly
+// as they do in a real lint.Run — so testdata can pin the suppression
+// behavior itself.
 package analysistest
 
 import (
@@ -13,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	"dassa/internal/lint"
 	"dassa/internal/lint/analysis"
 	"dassa/internal/lint/loader"
 )
@@ -66,6 +71,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		}
 	}
 
+	ignores := lint.CollectIgnores(pkg)
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
 		Analyzer:  a,
@@ -73,7 +79,12 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Report: func(d analysis.Diagnostic) {
+			if ignores.Covers(pkg.Fset.Position(d.Pos), a.Name) {
+				return
+			}
+			diags = append(diags, d)
+		},
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("analysistest: %s: %v", a.Name, err)

@@ -1,0 +1,206 @@
+// Package goleak is the static half of DASSA's goroutine-leak defense:
+// every `go` statement outside package main must carry a provable
+// join/cancel path. The runtime half (internal/testutil/leakcheck) fails
+// tests whose goroutines outlive them; this analyzer catches the
+// fire-and-forget spawn before it ever runs. A spawn is considered
+// joined when the goroutine body (or, one call level deep, a
+// same-package callee's body) does any of:
+//
+//   - sync.WaitGroup Done/Wait (the Add..Wait pairing convention)
+//   - a channel operation — send, receive, range, close, or select —
+//     so some receiver/sender in scope can observe it finish
+//   - references a context.Context (cancellation threaded in)
+//
+// or when the spawn expression itself threads a join primitive: any
+// argument (or method receiver chain) typed as a channel, a
+// context.Context, or a sync.WaitGroup. Spawns that are genuinely meant
+// to be fire-and-forget carry `//dassalint:ignore goleak <reason>`.
+//
+// The callee check is one level deep by design (mirroring lockio's
+// interprocedural summary): a join path buried two calls down is
+// invisible and should be lifted or annotated.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dassa/internal/lint/analysis"
+	"dassa/internal/lint/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "every go statement needs a join/cancel path (WaitGroup pairing, " +
+		"channel op, or context); fire-and-forget spawns outside package main are flagged",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Package main owns the process lifetime: daemon accept loops and
+	// signal pumps legitimately live until exit.
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	decls := localDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !joined(pass, decls, g.Call) {
+				pass.Reportf(g.Pos(),
+					"goleak: goroutine has no provable join/cancel path "+
+						"(no WaitGroup Done/Wait, channel op, or context in its body or arguments); "+
+						"thread one in or annotate //dassalint:ignore goleak <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// localDecls indexes this package's function and method declarations so
+// the one-level callee check can look inside `go helper()` spawns.
+func localDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// joined reports whether the spawned call has a join/cancel path.
+func joined(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	// A join primitive threaded through the spawn expression: argument or
+	// receiver chain typed chan/context.Context/sync.WaitGroup.
+	for _, a := range call.Args {
+		if joinType(typeOf(pass, a)) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyJoins(pass, decls, fun.Body, 1)
+	case *ast.SelectorExpr:
+		// go w.loop(): the receiver may hold the primitive; if the method
+		// is declared here, look one level into its body.
+		if fn := astutil.Callee(pass.TypesInfo, call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				return bodyJoins(pass, decls, fd.Body, 1)
+			}
+		}
+		return false
+	default:
+		if fn := astutil.Callee(pass.TypesInfo, call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				return bodyJoins(pass, decls, fd.Body, 1)
+			}
+		}
+		return false
+	}
+}
+
+// bodyJoins scans a function body for join/cancel signals. depth guards
+// the one-level descent into same-package callees.
+func bodyJoins(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true // receive: waiting on done/result/ctx
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if _, ok := underlying(typeOf(pass, x.X)).(*types.Chan); ok {
+				found = true // drains until the channel closes
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, shadowed := pass.ObjectOf(id).(*types.Func); !shadowed {
+					found = true // builtin close, not a shadowing func
+					break
+				}
+			}
+			fn := astutil.Callee(pass.TypesInfo, x)
+			if fn == nil {
+				break
+			}
+			if recv := astutil.RecvNamed(fn); recv != nil && recv.Obj().Pkg() != nil &&
+				recv.Obj().Pkg().Path() == "sync" && recv.Obj().Name() == "WaitGroup" &&
+				(fn.Name() == "Done" || fn.Name() == "Wait") {
+				found = true
+				break
+			}
+			if depth > 0 {
+				if fd, ok := decls[fn]; ok && bodyJoins(pass, decls, fd.Body, depth-1) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			// Any reference to a context.Context counts as cancellation
+			// threaded in (covers ctx.Done, ctx.Err, passing ctx onward).
+			if obj := pass.ObjectOf(x); obj != nil && isContext(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func underlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// joinType reports whether t is a primitive another goroutine can join
+// or cancel through: a channel, a context.Context, or a sync.WaitGroup
+// (possibly behind pointers).
+func joinType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		if _, ok := p.Elem().Underlying().(*types.Chan); ok {
+			return true
+		}
+	}
+	if astutil.IsNamed(t, "sync", "WaitGroup") {
+		return true
+	}
+	return isContext(t)
+}
+
+func isContext(t types.Type) bool {
+	return astutil.IsNamed(t, "context", "Context")
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"dassa/internal/lint/analysistest"
+	"dassa/internal/lint/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, analysistest.Testdata("a"))
+}

@@ -1,0 +1,103 @@
+package a
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Clean: WaitGroup pairing — Done in the body, Wait at the join point.
+func waitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Clean: channel join — the spawner receives the result.
+func channelJoin() int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	return <-ch
+}
+
+// Clean: the body watches ctx.Done, so cancellation reaches it.
+func ctxCancel(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Clean: a context threaded through the spawn arguments is a cancel path
+// even when the callee lives in another package.
+func ctxArg(ctx context.Context) {
+	go watcher(ctx)
+}
+
+func watcher(ctx context.Context) { <-ctx.Done() }
+
+// Clean, errgroup-shaped: a local group type whose Go method owns the
+// Add/Done/Wait pairing on behalf of every task it spawns.
+type group struct {
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+func (g *group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+func (g *group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// Clean: one call level deep — the spawned method's own body holds the
+// join (it closes its output channel when done).
+type pump struct {
+	out chan int
+}
+
+func (p *pump) loop() {
+	for i := 0; i < 3; i++ {
+		p.out <- i
+	}
+	close(p.out)
+}
+
+func methodSpawn(p *pump) {
+	go p.loop()
+}
+
+// Bad: fire and forget — nothing can join or cancel these.
+func fireAndForget() {
+	go fmt.Println("gone") // want `goleak: goroutine has no provable join/cancel path`
+	go work()              // want `goleak: goroutine has no provable join/cancel path`
+	go func() {            // want `goleak: goroutine has no provable join/cancel path`
+		work()
+	}()
+}
+
+// Clean by directive: genuinely intentional fire-and-forget, justified
+// inline where review can see it.
+func intentional() {
+	//dassalint:ignore goleak best-effort warmup, bounded by process life
+	go work()
+}
+
+func work()        {}
+func compute() int { return 1 }

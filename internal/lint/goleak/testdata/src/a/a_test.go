@@ -1,0 +1,19 @@
+package a
+
+import "testing"
+
+// In-package test files are linted too: the loader's test-variant
+// loading feeds them through the same analyzers, because chaos suites
+// are exactly where leaked goroutines hide.
+func TestSpawnJoins(t *testing.T) {
+	done := make(chan struct{})
+	go func() { // joined: close(done) hands control back to the test
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func TestSpawnLeaks(t *testing.T) {
+	go work() // want `goleak: goroutine has no provable join/cancel path`
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestWriteJSONShape(t *testing.T) {
+	fs := []Finding{
+		{
+			Analyzer: "goleak",
+			Pos:      token.Position{Filename: "internal/serve/ingest.go", Line: 42, Column: 2},
+			Message:  "goroutine has no provable join/cancel path",
+		},
+		{
+			Analyzer: "lockio",
+			Pos:      token.Position{Filename: `weird "dir"/a b\c.go`, Line: 7, Column: 1},
+			Message:  "os.ReadFile while s.mu is held",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fs); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []JSONFinding
+	for sc.Scan() {
+		var jf JSONFinding
+		if err := json.Unmarshal(sc.Bytes(), &jf); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		got = append(got, jf)
+	}
+	if len(got) != len(fs) {
+		t.Fatalf("decoded %d findings, want %d", len(got), len(fs))
+	}
+	for i, jf := range got {
+		want := fs[i]
+		if jf.File != want.Pos.Filename || jf.Line != want.Pos.Line ||
+			jf.Col != want.Pos.Column || jf.Analyzer != want.Analyzer || jf.Message != want.Message {
+			t.Errorf("finding %d = %+v, want %+v", i, jf, want)
+		}
+	}
+}
+
+// FuzzFindingsJSON hammers the -json encoder with hostile paths and
+// messages: every finding must encode to exactly one parseable line that
+// round-trips losslessly for valid UTF-8 inputs.
+func FuzzFindingsJSON(f *testing.F) {
+	f.Add(`C:\temp\weird "dir"\a.go`, 3, 7, "goleak", `msg with "quotes" and \ backslashes`)
+	f.Add("/tmp/файл.go", 1, 1, "lockio", "line1\nline2\ttab")
+	f.Add("a\x00b.go", 0, -1, "", "")
+	f.Add("emoji/🚀.go", 1<<30, 2, "wraperr", "<script>&amp;</script>")
+	f.Fuzz(func(t *testing.T, file string, line, col int, analyzer, msg string) {
+		fs := []Finding{{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Message:  msg,
+		}}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, fs); err != nil {
+			t.Fatalf("WriteJSON(%q): %v", file, err)
+		}
+		out := buf.Bytes()
+		if n := bytes.Count(out, []byte("\n")); n != 1 || out[len(out)-1] != '\n' {
+			t.Fatalf("want exactly one newline-terminated line, got %d in %q", n, out)
+		}
+		var got JSONFinding
+		if err := json.Unmarshal(out, &got); err != nil {
+			t.Fatalf("output not valid JSON: %v\n%q", err, out)
+		}
+		if got.Line != line || got.Col != col {
+			t.Fatalf("line/col = %d/%d, want %d/%d", got.Line, got.Col, line, col)
+		}
+		// encoding/json coerces invalid UTF-8 to U+FFFD; exact round-trip
+		// is only promised for valid strings.
+		if utf8.ValidString(file) && got.File != file {
+			t.Fatalf("file round-trip = %q, want %q", got.File, file)
+		}
+		if utf8.ValidString(msg) && got.Message != msg {
+			t.Fatalf("message round-trip = %q, want %q", got.Message, msg)
+		}
+		if utf8.ValidString(analyzer) && got.Analyzer != analyzer {
+			t.Fatalf("analyzer round-trip = %q, want %q", got.Analyzer, analyzer)
+		}
+	})
+}

@@ -5,8 +5,10 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
+	"io"
 	"regexp"
 	"sort"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"dassa/internal/lint/analysis"
 	"dassa/internal/lint/closecheck"
 	"dassa/internal/lint/cowopt"
+	"dassa/internal/lint/goleak"
 	"dassa/internal/lint/loader"
 	"dassa/internal/lint/lockio"
 	"dassa/internal/lint/metriclabel"
@@ -26,6 +29,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		closecheck.Analyzer,
 		cowopt.Analyzer,
+		goleak.Analyzer,
 		lockio.Analyzer,
 		metriclabel.Analyzer,
 		spanclose.Analyzer,
@@ -44,6 +48,45 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
 }
 
+// JSONFinding is the stable machine-readable shape of one finding, for
+// CI annotations and editor integrations.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON streams findings to w as one JSON object per line (the
+// github-annotation-friendly NDJSON shape). Paths and messages are
+// escaped by encoding/json, so quotes, backslashes, and control bytes
+// in filenames survive the trip.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		jf := JSONFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+		if err := enc.Encode(jf); err != nil {
+			return fmt.Errorf("lint: encoding finding: %w", err)
+		}
+	}
+	return nil
+}
+
+// Options tunes a Run.
+type Options struct {
+	// IncludeTests loads every package's test variant too, so _test.go
+	// files pass through the same analyzers (the chaos suites are where
+	// lock-under-I/O and leaked-goroutine patterns hide).
+	IncludeTests bool
+}
+
 // ignoreRE matches `//dassalint:ignore name[,name] optional reason`. The
 // name list is strictly comma-separated lowercase words so a lowercase
 // reason clause ("startup-only path") cannot bleed into it.
@@ -52,8 +95,14 @@ var ignoreRE = regexp.MustCompile(`^//\s*dassalint:ignore\s+([a-z]+(?:\s*,\s*[a-
 // Run loads patterns relative to dir and applies the selected analyzers
 // (nil/empty only = all). Findings suppressed by a //dassalint:ignore
 // comment on the same or preceding line are dropped.
-func Run(dir string, patterns, only []string) ([]Finding, error) {
-	pkgs, err := loader.Load(dir, patterns)
+func Run(dir string, patterns, only []string, opts Options) ([]Finding, error) {
+	var pkgs []*loader.Package
+	var err error
+	if opts.IncludeTests {
+		pkgs, err = loader.LoadWithTests(dir, patterns)
+	} else {
+		pkgs, err = loader.Load(dir, patterns)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -75,9 +124,14 @@ func Run(dir string, patterns, only []string) ([]Finding, error) {
 		analyzers = sel
 	}
 
+	known := map[string]bool{"all": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
+		out = append(out, auditIgnores(pkg, known)...)
+		ignores := CollectIgnores(pkg)
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -89,7 +143,7 @@ func Run(dir string, patterns, only []string) ([]Finding, error) {
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
-				if ignores.covers(pos, name) {
+				if ignores.Covers(pos, name) {
 					return
 				}
 				out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
@@ -112,6 +166,37 @@ func Run(dir string, patterns, only []string) ([]Finding, error) {
 	return out, nil
 }
 
+// auditIgnores flags //dassalint:ignore directives naming analyzers that
+// do not exist: a stale name suppresses nothing, which silently turns an
+// intentional exemption into dead weight (or hides a typo that leaves
+// the real finding unsuppressed). The audit runs against the full suite
+// regardless of -only, so narrowing a run never invalidates directives.
+func auditIgnores(pkg *loader.Package, known map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				for _, n := range strings.Split(m[1], ",") {
+					n = strings.TrimSpace(n)
+					if n != "" && !known[n] {
+						out = append(out, Finding{
+							Analyzer: "dassalint",
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Message: fmt.Sprintf("ignore directive names unknown analyzer %q "+
+								"(known: %s, or all)", n, strings.Join(names(Analyzers()), ", ")),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
 func names(as []*analysis.Analyzer) []string {
 	out := make([]string, len(as))
 	for i, a := range as {
@@ -120,10 +205,14 @@ func names(as []*analysis.Analyzer) []string {
 	return out
 }
 
-// ignoreSet maps file → line → suppressed analyzer names ("all" = every).
-type ignoreSet map[string]map[int]map[string]bool
+// Ignores maps file → line → suppressed analyzer names ("all" = every).
+// It is exported so the analysistest harness applies the same
+// suppression semantics the real Run does.
+type Ignores map[string]map[int]map[string]bool
 
-func (s ignoreSet) covers(pos token.Position, analyzer string) bool {
+// Covers reports whether an ignore directive on the finding's line, or
+// the line above it, names the analyzer (or "all").
+func (s Ignores) Covers(pos token.Position, analyzer string) bool {
 	lines, ok := s[pos.Filename]
 	if !ok {
 		return false
@@ -137,8 +226,9 @@ func (s ignoreSet) covers(pos token.Position, analyzer string) bool {
 	return false
 }
 
-func collectIgnores(pkg *loader.Package) ignoreSet {
-	out := ignoreSet{}
+// CollectIgnores parses every //dassalint:ignore directive in pkg.
+func CollectIgnores(pkg *loader.Package) Ignores {
+	out := Ignores{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {

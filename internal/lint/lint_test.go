@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 
 	"dassa/internal/lint/loader"
@@ -35,7 +36,7 @@ func TestIgnoreSuppression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ig := collectIgnores(&loader.Package{Fset: fset, Files: []*ast.File{f}})
+	ig := CollectIgnores(&loader.Package{Fset: fset, Files: []*ast.File{f}})
 
 	at := func(line int) token.Position {
 		return token.Position{Filename: "p.go", Line: line}
@@ -54,14 +55,53 @@ func TestIgnoreSuppression(t *testing.T) {
 		{17, "lockio", false},     // plain comment is not an ignore
 	}
 	for _, c := range cases {
-		if got := ig.covers(at(c.line), c.analyzer); got != c.want {
-			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		if got := ig.Covers(at(c.line), c.analyzer); got != c.want {
+			t.Errorf("Covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+const staleIgnoreSrc = `package p
+
+func a() {
+	_ = 1 //dassalint:ignore lockvet typo of a real analyzer
+}
+
+func b() {
+	_ = 2 //dassalint:ignore goleak, nosuch one real, one stale
+}
+
+func c() {
+	_ = 3 //dassalint:ignore all valid
+}
+`
+
+func TestAuditIgnoresFlagsUnknownNames(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", staleIgnoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"all": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	got := auditIgnores(&loader.Package{Fset: fset, Files: []*ast.File{f}}, known)
+	if len(got) != 2 {
+		t.Fatalf("auditIgnores found %d findings, want 2: %v", len(got), got)
+	}
+	for i, wantName := range []string{"lockvet", "nosuch"} {
+		if !strings.Contains(got[i].Message, wantName) {
+			t.Errorf("finding %d = %q, want mention of %q", i, got[i].Message, wantName)
+		}
+		if got[i].Analyzer != "dassalint" {
+			t.Errorf("finding %d analyzer = %q, want dassalint", i, got[i].Analyzer)
 		}
 	}
 }
 
 func TestAnalyzersComplete(t *testing.T) {
-	want := []string{"closecheck", "cowopt", "lockio", "metriclabel", "spanclose", "wraperr"}
+	want := []string{"closecheck", "cowopt", "goleak", "lockio", "metriclabel", "spanclose", "wraperr"}
 	got := names(Analyzers())
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() = %v, want %v", got, want)

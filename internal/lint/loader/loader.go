@@ -4,6 +4,13 @@
 // to drive vet — and feeds the resulting export data to the standard
 // library's gc importer, so full types.Info is available even though the
 // proxy-less build environment cannot fetch x/tools/go/packages.
+//
+// LoadWithTests additionally lists with -test, so every package's test
+// variant (the package recompiled with its in-package _test.go files) and
+// external _test package are parsed and typechecked too; the generated
+// *.test main packages are skipped. External test packages resolve their
+// import of the package under test to that package's test-variant export
+// data, exactly as the go command links them.
 package loader
 
 import (
@@ -42,16 +49,22 @@ type listPkg struct {
 	Export     string
 	GoFiles    []string
 	DepOnly    bool
+	ForTest    string
 	Error      *struct{ Err string }
 }
 
 // goList runs `go list -export -deps -json` for args with the given
-// working directory and decodes the package stream.
-func goList(dir string, args []string) ([]listPkg, error) {
-	cmdArgs := append([]string{
-		"list", "-e", "-export", "-deps",
-		"-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,Error",
-	}, args...)
+// working directory and decodes the package stream. With tests, -test is
+// added so test variants, external test packages, and their deps (e.g.
+// the testing package) are listed and built too.
+func goList(dir string, args []string, tests bool) ([]listPkg, error) {
+	cmdArgs := []string{"list", "-e", "-export", "-deps"}
+	if tests {
+		cmdArgs = append(cmdArgs, "-test")
+	}
+	cmdArgs = append(cmdArgs,
+		"-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,ForTest,Error")
+	cmdArgs = append(cmdArgs, args...)
 	cmd := exec.Command("go", cmdArgs...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -75,9 +88,15 @@ func goList(dir string, args []string) ([]listPkg, error) {
 }
 
 // exportImporter builds a types.Importer that resolves every import path
-// through the export-data files go list reported.
-func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+// through the export-data files go list reported. overrides maps an
+// import path to a different export file (used to point an external test
+// package's import of the package under test at the test variant's
+// export data).
+func exportImporter(fset *token.FileSet, exports, overrides map[string]string) types.Importer {
 	lookup := func(path string) (io.ReadCloser, error) {
+		if f, ok := overrides[path]; ok {
+			return os.Open(f)
+		}
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint/loader: no export data for %q", path)
@@ -101,34 +120,92 @@ func newInfo() *types.Info {
 // typechecks every matched package from source. Dependencies are imported
 // via export data, so one Load of "./..." costs one build of the module.
 func Load(dir string, patterns []string) ([]*Package, error) {
+	return load(dir, patterns, false)
+}
+
+// LoadWithTests is Load plus test variants: for every matched package
+// with in-package test files, the test variant (all sources + _test.go)
+// replaces the plain package in the result, and external _test packages
+// are appended as packages of their own. The generated *.test test-binary
+// mains are skipped — their only source file is machine-written.
+func LoadWithTests(dir string, patterns []string) ([]*Package, error) {
+	return load(dir, patterns, true)
+}
+
+// testVariantOf extracts the tested package's import path when p is an
+// internal test variant: ImportPath "p [p.test]" with ForTest "p" and the
+// package name of p itself (external test packages carry a _test name).
+func (p *listPkg) isInternalTestVariant() bool {
+	return p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") &&
+		!strings.HasSuffix(p.Name, "_test")
+}
+
+func (p *listPkg) isExternalTestPkg() bool {
+	return p.ForTest != "" && strings.HasSuffix(p.Name, "_test")
+}
+
+func load(dir string, patterns []string, tests bool) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	listed, err := goList(dir, patterns)
+	listed, err := goList(dir, patterns, tests)
 	if err != nil {
 		return nil, err
 	}
-	exports := map[string]string{}
+	exports := map[string]string{}   // plain import path → export data
+	variants := map[string]string{}  // tested import path → variant export data
 	var targets []listPkg
+	hasVariant := map[string]bool{} // tested import path → internal variant listed
 	for _, p := range listed {
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test-binary main: machine-written source
+		}
 		if p.Error != nil {
+			// Tolerate "no non-test Go files" shells: a directory like
+			// cmd/clitest holds only an external test package, so the
+			// plain package entry is an empty error stub while the real
+			// sources arrive as the _test variant.
+			if tests && len(p.GoFiles) == 0 && !p.DepOnly {
+				continue
+			}
 			return nil, fmt.Errorf("lint/loader: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			if p.isInternalTestVariant() {
+				variants[p.ForTest] = p.Export
+			} else if p.ForTest == "" {
+				exports[p.ImportPath] = p.Export
+			}
 		}
 		if !p.DepOnly && p.Name != "" {
+			if p.isInternalTestVariant() {
+				hasVariant[p.ForTest] = true
+			}
 			targets = append(targets, p)
 		}
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
+	shared := exportImporter(fset, exports, nil)
 	var out []*Package
 	for _, t := range targets {
 		if len(t.GoFiles) == 0 {
 			continue
+		}
+		if t.ForTest == "" && hasVariant[t.ImportPath] {
+			continue // the test variant supersedes: same files plus _test.go
+		}
+		imp := shared
+		if t.isExternalTestPkg() {
+			// p_test imports p compiled *with* its test files; give this
+			// package its own importer so the variant export data cannot
+			// leak into (or be shadowed by) the shared cache.
+			overrides := map[string]string{}
+			if v, ok := variants[t.ForTest]; ok {
+				overrides[t.ForTest] = v
+			}
+			imp = exportImporter(fset, exports, overrides)
 		}
 		files := make([]string, len(t.GoFiles))
 		for i, g := range t.GoFiles {
@@ -143,10 +220,13 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	return out, nil
 }
 
-// LoadDir parses every non-test .go file directly inside dir as one
-// package and typechecks it, resolving its imports with go list. This is
+// LoadDir parses every .go file directly inside dir that belongs to the
+// directory's primary package — including in-package _test.go files — as
+// one package and typechecks it, resolving imports with go list. This is
 // the analysistest entry point: testdata packages live outside any build
-// target, so they are loaded by directory rather than by pattern.
+// target, so they are loaded by directory rather than by pattern. Files
+// of an external _test package (package name ending in _test) are
+// skipped; testdata fixtures exercise in-package test files.
 func LoadDir(dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -155,7 +235,7 @@ func LoadDir(dir string) (*Package, error) {
 	var files []string
 	for _, e := range ents {
 		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(n, ".go") {
 			continue
 		}
 		files = append(files, filepath.Join(dir, n))
@@ -166,21 +246,47 @@ func LoadDir(dir string) (*Package, error) {
 	sort.Strings(files)
 
 	fset := token.NewFileSet()
-	parsed := make([]*ast.File, 0, len(files))
-	imports := map[string]bool{}
+	type parsedFile struct {
+		path string
+		ast  *ast.File
+	}
+	all := make([]parsedFile, 0, len(files))
 	for _, f := range files {
 		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint/loader: %w", err)
 		}
-		parsed = append(parsed, af)
-		for _, im := range af.Imports {
-			p, err := strconv.Unquote(im.Path.Value)
+		all = append(all, parsedFile{path: f, ast: af})
+	}
+	// The primary package is named by the first non-test file; a testdata
+	// dir holding only _test.go files names it by its first file.
+	pkgName := ""
+	for _, p := range all {
+		if !strings.HasSuffix(p.path, "_test.go") {
+			pkgName = p.ast.Name.Name
+			break
+		}
+	}
+	if pkgName == "" {
+		pkgName = all[0].ast.Name.Name
+	}
+
+	var kept []string
+	var parsed []*ast.File
+	imports := map[string]bool{}
+	for _, p := range all {
+		if p.ast.Name.Name != pkgName {
+			continue
+		}
+		kept = append(kept, p.path)
+		parsed = append(parsed, p.ast)
+		for _, im := range p.ast.Imports {
+			ip, err := strconv.Unquote(im.Path.Value)
 			if err != nil {
-				return nil, fmt.Errorf("lint/loader: bad import in %s: %w", f, err)
+				return nil, fmt.Errorf("lint/loader: bad import in %s: %w", p.path, err)
 			}
-			if p != "unsafe" {
-				imports[p] = true
+			if ip != "unsafe" {
+				imports[ip] = true
 			}
 		}
 	}
@@ -192,7 +298,7 @@ func LoadDir(dir string) (*Package, error) {
 			paths = append(paths, p)
 		}
 		sort.Strings(paths)
-		listed, err := goList(dir, paths)
+		listed, err := goList(dir, paths, false)
 		if err != nil {
 			return nil, err
 		}
@@ -206,8 +312,8 @@ func LoadDir(dir string) (*Package, error) {
 		}
 	}
 
-	imp := exportImporter(fset, exports)
-	return checkFiles(fset, imp, parsed[0].Name.Name, dir, files, parsed)
+	imp := exportImporter(fset, exports, nil)
+	return checkFiles(fset, imp, pkgName, dir, kept, parsed)
 }
 
 func check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {

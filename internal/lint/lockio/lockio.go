@@ -5,9 +5,19 @@
 // so a slow disk never stalls every reader behind a lock. Functions whose
 // name ends in "Locked" are treated as running entirely under their
 // caller's lock (the project's naming convention).
+//
+// Before per-function analysis, a package-local summary pass records
+// which declared non-*Locked functions and methods directly perform I/O,
+// so a call to such a helper under a held lock is reported even though
+// the I/O is one call away. The summary is one level deep by design — a
+// helper that only reaches I/O through another helper stays invisible
+// (the documented blind spot; closing it needs real SSA call graphs).
+// *Locked helpers are excluded from the summary because their bodies are
+// already analyzed as whole critical sections.
 package lockio
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"sort"
@@ -54,12 +64,50 @@ var netIOFuncs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	sum := summarize(pass)
 	for _, f := range pass.Files {
 		for _, u := range astutil.Units(f) {
-			checkUnit(pass, u)
+			checkUnit(pass, u, sum)
 		}
 	}
 	return nil
+}
+
+// summarize records, for every declared non-*Locked function or method
+// in the package, the first file/network/dasf I/O its body performs
+// directly (nested function literals excluded — they run later, if at
+// all). Calls to these helpers count as I/O at the call site.
+func summarize(pass *analysis.Pass) map[*types.Func]string {
+	out := map[*types.Func]string{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			desc := ""
+			astutil.WalkUnit(fd.Body, func(n ast.Node) bool {
+				if desc != "" {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if d, ok := ioCall(pass, call); ok {
+						desc = d
+						return false
+					}
+				}
+				return true
+			})
+			if desc != "" {
+				out[obj] = desc
+			}
+		}
+	}
+	return out
 }
 
 // event is one ordered occurrence inside a function body.
@@ -77,7 +125,7 @@ const (
 	evIO
 )
 
-func checkUnit(pass *analysis.Pass, u astutil.FuncUnit) {
+func checkUnit(pass *analysis.Pass, u astutil.FuncUnit, sum map[*types.Func]string) {
 	var events []event
 	lockedWhole := u.Decl != nil && strings.HasSuffix(u.Decl.Name.Name, "Locked")
 
@@ -98,6 +146,11 @@ func checkUnit(pass *analysis.Pass, u astutil.FuncUnit) {
 				events = append(events, event{pos: int(x.Pos()), kind: kind, key: key, node: x})
 			} else if desc, ok := ioCall(pass, x); ok {
 				events = append(events, event{pos: int(x.Pos()), kind: evIO, desc: desc, node: x})
+			} else if fn := astutil.Callee(pass.TypesInfo, x); fn != nil {
+				if helperIO, ok := sum[fn]; ok && (u.Decl == nil || pass.TypesInfo.Defs[u.Decl.Name] != fn) {
+					events = append(events, event{pos: int(x.Pos()), kind: evIO,
+						desc: fmt.Sprintf("call to %s (which does %s)", fn.Name(), helperIO), node: x})
+				}
 			}
 		}
 		return true

@@ -1,0 +1,82 @@
+// Package b pins the interprocedural half of lockio: the package-local
+// summary pass sees I/O one call deep, and — by documented design — no
+// deeper.
+package b
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// load performs I/O directly, so the summary records it.
+func load(path string) []byte {
+	b, _ := os.ReadFile(path)
+	return b
+}
+
+// fetch is a method helper; methods are summarized like functions.
+func (c *cache) fetch(path string) []byte {
+	b, _ := os.ReadFile(path)
+	return b
+}
+
+// Bad: the I/O is one call away, but it still runs under c.mu.
+func (c *cache) badHelperCall(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[path] = load(path) // want `lockio: call to load \(which does os.ReadFile\) while c.mu is held`
+}
+
+// Bad: same through a method helper.
+func (c *cache) badMethodHelper(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[path] = c.fetch(path) // want `lockio: call to fetch \(which does os.ReadFile\) while c.mu is held`
+}
+
+// loadIndirect only reaches I/O through load — two levels from any call
+// site. The one-level summary does not see through it.
+func loadIndirect(path string) []byte {
+	return load(path)
+}
+
+// Documented blind spot: two-levels-deep I/O is invisible to the
+// one-level summary, so this stays unflagged by design. Closing it needs
+// a real SSA call graph (see DESIGN.md §10).
+func (c *cache) blindSpotTwoDeep(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[path] = loadIndirect(path)
+}
+
+// Clean: helper I/O before the lock is the intended shape.
+func (c *cache) goodSnapshot(path string) {
+	b := load(path)
+	c.mu.Lock()
+	c.m[path] = b
+	c.mu.Unlock()
+}
+
+// Clean: a helper call with no lock held is fine anywhere.
+func (c *cache) goodUnlocked(path string) []byte {
+	return load(path)
+}
+
+// *Locked helpers are excluded from the summary — their whole body is a
+// critical section, so the violation is reported inside them, once.
+func (c *cache) refreshLocked(path string) {
+	b, _ := os.ReadFile(path) // want `lockio: os.ReadFile inside refreshLocked`
+	c.m[path] = b
+}
+
+// Clean at the call site: refreshLocked's own report covers the I/O.
+func (c *cache) callsLockedHelper(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshLocked(path)
+}

@@ -99,10 +99,9 @@ func TestReadClientDisconnectCancels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() {
-		time.Sleep(100 * time.Millisecond) // let the read reach the stall
-		cancel()
-	}()
+	defer cancel()
+	timer := time.AfterFunc(100*time.Millisecond, cancel) // let the read reach the stall
+	defer timer.Stop()
 	if resp, err := ts.Client().Do(req); err == nil {
 		// The transport may deliver the server's 499 before noticing the
 		// cancel; either way the request must not have succeeded.

@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http/httptest"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,8 +24,16 @@ func startShardWorker(t *testing.T) string {
 		Cores:          2,
 		HeartbeatEvery: 100 * time.Millisecond,
 	})
-	go func() { _ = w.Serve(ln) }()
+	// Cleanups run LIFO: Close severs the listener, then Wait joins the
+	// serve goroutine.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	t.Cleanup(wg.Wait)
 	t.Cleanup(w.Close)
+	go func() {
+		defer wg.Done()
+		_ = w.Serve(ln)
+	}()
 	return ln.Addr().String()
 }
 

@@ -162,9 +162,12 @@ func TestConnQueueBound(t *testing.T) {
 func TestConnSendAfterClose(t *testing.T) {
 	leakcheck.Check(t)
 	a, b := net.Pipe()
+	drained := make(chan struct{})
+	defer func() { <-drained }() // declared first: joins after b.Close severs the pipe
 	defer b.Close()
 	ca := NewConn(a, 2)
 	go func() { // drain so Close's queue flush can finish
+		defer close(drained)
 		for {
 			if _, err := ReadFrame(b); err != nil {
 				return

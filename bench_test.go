@@ -58,6 +58,16 @@ func BenchmarkTable2DasLibSemantics(b *testing.B) {
 	}
 }
 
+func BenchmarkKernelsPlannedVsAlloc(b *testing.B) {
+	o := benchOptions(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunKernels(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig6SearchMerge(b *testing.B) {
 	o := benchOptions(b)
 	if _, err := bench.EnsureDataset(o); err != nil {

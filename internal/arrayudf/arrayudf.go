@@ -50,12 +50,31 @@ func (s *Stencil) Window(tLo, tHi, dch int) []float64 {
 		panic(fmt.Sprintf("arrayudf: Window range [%d,%d] inverted", tLo, tHi))
 	}
 	out := make([]float64, tHi-tLo+1)
+	s.WindowInto(out, tLo, tHi, dch)
+	return out
+}
+
+// WindowInto is Window writing into dst (len(dst) == tHi-tLo+1) — the
+// allocation-free form hot UDFs use with a scratch-owned buffer. Windows
+// entirely inside the time extent take a straight copy; only edge windows
+// pay the per-sample clamp.
+func (s *Stencil) WindowInto(dst []float64, tLo, tHi, dch int) {
+	if tHi < tLo {
+		panic(fmt.Sprintf("arrayudf: Window range [%d,%d] inverted", tLo, tHi))
+	}
+	if len(dst) != tHi-tLo+1 {
+		panic(fmt.Sprintf("arrayudf: WindowInto dst length %d, want %d", len(dst), tHi-tLo+1))
+	}
 	ch := clamp(s.chOff+s.ch+dch, 0, s.block.Channels-1)
 	row := s.block.Row(ch)
-	for i := range out {
-		out[i] = row[clamp(s.t+tLo+i, 0, s.block.Samples-1)]
+	lo := s.t + tLo
+	if lo >= 0 && lo+len(dst) <= s.block.Samples {
+		copy(dst, row[lo:lo+len(dst)])
+		return
 	}
-	return out
+	for i := range dst {
+		dst[i] = row[clamp(lo+i, 0, s.block.Samples-1)]
+	}
 }
 
 // Row returns the full time series of the channel dch away from the
@@ -72,6 +91,11 @@ func (s *Stencil) T() int { return s.t }
 // Channel returns the current cell's channel index relative to the rank's
 // block start.
 func (s *Stencil) Channel() int { return s.ch }
+
+// SetPos repositions the stencil at owned channel ch and time index t, so
+// a thread can reuse one stencil across its whole iteration range instead
+// of allocating one per cell.
+func (s *Stencil) SetPos(ch, t int) { s.ch, s.t = ch, t }
 
 // Samples returns the time extent of the underlying array.
 func (s *Stencil) Samples() int { return s.block.Samples }

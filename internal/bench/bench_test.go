@@ -180,9 +180,10 @@ func TestFig9BaselineSlower(t *testing.T) {
 	// The ratio is scale-dependent: at this tiny test size the fixed
 	// interpreter dispatch overhead dominates the (fast) kernels, inflating
 	// it well past the paper's 16× (the default bench scale lands at
-	// 15-20×). The band only guards against absurd values.
-	if ratio := float64(bl.ComputeModel) / float64(ds.ComputeModel); ratio < 5 || ratio > 80 {
-		t.Errorf("modeled speedup = %.1fx, want a sane multiple of the core count (5-80)", ratio)
+	// 15-25×), and the planned zero-allocation kernel path widens it
+	// further. The band only guards against absurd values.
+	if ratio := float64(bl.ComputeModel) / float64(ds.ComputeModel); ratio < 5 || ratio > 150 {
+		t.Errorf("modeled speedup = %.1fx, want a sane multiple of the core count (5-150)", ratio)
 	}
 	// The serial measurement alone must already show the interpreter tax.
 	if bl.ComputeWall <= ds.ComputeWall {

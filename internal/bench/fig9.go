@@ -77,21 +77,27 @@ func RunFig9(o Options) ([]Fig9Row, error) {
 		return nil, err
 	}
 
-	// DASSA: same pipeline via the detect workload, serial measurement.
+	// DASSA: same pipeline via the detect workload, serial measurement on
+	// the planned path — prepared master spectrum, per-run scratch arena,
+	// destination-passing kernels — exactly what the engine threads run.
 	master, err := params.Preprocess(data.Row(params.MasterChannel))
 	if err != nil {
 		return nil, err
 	}
+	mst := daslib.PrepareXCorrMaster(master, len(master))
 	rowLen := params.RowLen(data.Samples)
 	dsOut := dasf.NewArray2D(data.Channels, rowLen)
+	scr := daslib.GetScratch()
+	defer daslib.PutScratch(scr)
+	series := make([]float64, len(master))
+	corr := make([]float64, daslib.XCorrLen(len(master), len(master)))
 	dsCompute, err := timeIt(func() error {
 		for ch := 0; ch < data.Channels; ch++ {
-			series, err := params.Preprocess(data.Row(ch))
-			if err != nil {
+			if err := params.PreprocessInto(series, data.Row(ch), scr); err != nil {
 				return err
 			}
-			corr := detect.TrimLags(daslib.XCorrNormalized(series, master), len(series), len(master), rowLen)
-			copy(dsOut.Row(ch), corr)
+			mst.XCorrNormalizedInto(corr, series, scr)
+			detect.TrimLagsInto(dsOut.Row(ch), corr, len(series), len(master))
 		}
 		return nil
 	})

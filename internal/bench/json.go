@@ -22,6 +22,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{"table1", "Table I (RCA vs VCA)", func(o Options) (any, error) { return RunTable1(o) }},
 		{"table2", "Table II (DasLib semantics)", func(o Options) (any, error) { return RunTable2(o) }},
+		{"kernels", "DasLib kernels (planned vs allocating)", func(o Options) (any, error) { return RunKernels(o) }},
 		{"fig6", "Figure 6 (search & merge)", func(o Options) (any, error) { return RunFig6(o) }},
 		{"fig7", "Figure 7 (read methods)", func(o Options) (any, error) { return RunFig7(o) }},
 		{"fig8", "Figure 8 (hybrid vs MPI)", func(o Options) (any, error) { return RunFig8(o) }},

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"dassa/internal/daslib"
+)
+
+// KernelRow compares one DasLib kernel's allocating API against its
+// planned destination-passing form: per-op wall time for both, the
+// speedup, and the planned path's allocations per op (the contract is 0
+// after warm-up; TestPlannedPathsAllocFree enforces it in CI, this row
+// tracks it in BENCH_*.json).
+type KernelRow struct {
+	Kernel        string
+	N             int
+	AllocNS       int64   `json:"alloc_ns_op"`
+	PlannedNS     int64   `json:"planned_ns_op"`
+	Speedup       float64 `json:"speedup"`
+	PlannedAllocs float64 `json:"planned_allocs_op"`
+}
+
+// measureKernel times fn per op and counts heap allocations per op. One
+// warm-up call populates the plan caches and grows the scratch free lists
+// before anything is counted.
+func measureKernel(fn func(), reps int) (perOp time.Duration, allocsPerOp float64) {
+	fn()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return wall / time.Duration(reps), float64(after.Mallocs-before.Mallocs) / float64(reps)
+}
+
+// RunKernels measures the zero-allocation kernel layer: FFT plans, the
+// packed real transform, filtfilt/resample into scratch, and the prepared
+// master-spectrum correlation — each against the allocating API it shims.
+// The planned column is what the engine's per-thread workers actually run.
+func RunKernels(o Options) ([]KernelRow, error) {
+	w := o.out()
+	const reps = 30
+	scr := daslib.NewScratch()
+
+	sig := func(n int) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*7*float64(i)/64) + 0.3*math.Cos(2*math.Pi*0.11*float64(i))
+		}
+		return x
+	}
+
+	var rows []KernelRow
+	add := func(kernel string, n int, alloc, planned func()) {
+		an, _ := measureKernel(alloc, reps)
+		pn, pallocs := measureKernel(planned, reps)
+		rows = append(rows, KernelRow{
+			Kernel: kernel, N: n,
+			AllocNS: an.Nanoseconds(), PlannedNS: pn.Nanoseconds(),
+			Speedup:       float64(an.Nanoseconds()) / math.Max(1, float64(pn.Nanoseconds())),
+			PlannedAllocs: pallocs,
+		})
+	}
+
+	// Real-input FFT, power-of-two (radix-2) and odd (Bluestein) lengths.
+	for _, n := range []int{4096, 1000} {
+		x := sig(n)
+		cdst := make([]complex128, n)
+		add("FFTReal->RFFTInto", n,
+			func() { daslib.FFTReal(x) },
+			func() { daslib.RFFTInto(cdst, x, scr) })
+	}
+
+	// Zero-phase bandpass on a typical preprocessed window.
+	{
+		n := 4096
+		x := sig(n)
+		b, a, err := daslib.Butter(4, daslib.Bandpass, 0.05, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		fp, err := daslib.NewFilterPlan(b, a)
+		if err != nil {
+			return nil, err
+		}
+		dst := make([]float64, n)
+		add("FiltFilt->FiltFiltInto", n,
+			func() {
+				if _, err := daslib.FiltFilt(b, a, x); err != nil {
+					panic(err)
+				}
+			},
+			func() {
+				if err := fp.FiltFiltInto(dst, x, scr); err != nil {
+					panic(err)
+				}
+			})
+	}
+
+	// Polyphase rational resample 1:4.
+	{
+		n := 4096
+		x := sig(n)
+		dst := make([]float64, daslib.ResampleLen(n, 1, 4))
+		add("Resample->ResampleInto", n,
+			func() {
+				if _, err := daslib.Resample(x, 1, 4); err != nil {
+					panic(err)
+				}
+			},
+			func() {
+				if err := daslib.ResampleInto(dst, x, 1, 4, scr); err != nil {
+					panic(err)
+				}
+			})
+	}
+
+	// Normalized cross-correlation against a prepared master spectrum —
+	// the per-channel inner loop of both case studies.
+	{
+		n := 4096
+		x := sig(n)
+		mst := daslib.PrepareXCorrMaster(x, n)
+		corr := make([]float64, daslib.XCorrLen(n, n))
+		add("XCorrNormalized->Master", n,
+			func() { daslib.XCorrNormalized(x, x) },
+			func() { mst.XCorrNormalizedInto(corr, x, scr) })
+	}
+
+	hline(w, "DasLib kernels: allocating API vs planned paths")
+	fmt.Fprintf(w, "%-26s %6s %12s %12s %8s %10s\n", "kernel", "n", "alloc/op", "planned/op", "speedup", "allocs/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %6d %12v %12v %7.2fx %10.1f\n",
+			r.Kernel, r.N, time.Duration(r.AllocNS), time.Duration(r.PlannedNS), r.Speedup, r.PlannedAllocs)
+	}
+	for _, r := range rows {
+		if r.PlannedAllocs > 0.5 {
+			return rows, fmt.Errorf("bench: planned path %s allocates %.1f/op, want 0", r.Kernel, r.PlannedAllocs)
+		}
+	}
+	return rows, nil
+}

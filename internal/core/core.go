@@ -19,6 +19,7 @@ import (
 
 	"dassa/internal/arrayudf"
 	"dassa/internal/dasf"
+	"dassa/internal/daslib"
 	"dassa/internal/dass"
 	"dassa/internal/detect"
 	"dassa/internal/faults"
@@ -273,7 +274,7 @@ func (f *Framework) localSimilarity(v *dass.View, opt LocalSimiOptions) (*dasf.A
 		return nil, nil, Report{}, err
 	}
 	rep, err := f.engine().RunPoints(v, haee.PointsWorkload{
-		Spec: opt.Spec(), UDF: opt.UDF(),
+		Spec: opt.Spec(), UDFScratch: opt.UDFScratch(),
 	}, opt.OutPath)
 	if err != nil {
 		return nil, nil, Report{}, err
@@ -325,6 +326,7 @@ func (f *Framework) Interferometry(v *dass.View, opt InterferometryOptions) (*da
 		RowLen:  parts.RowLen,
 		Prepare: parts.Prepare,
 		UDF:     parts.UDF,
+		UDFInto: parts.UDFInto,
 	}, opt.OutPath)
 	if err != nil {
 		return nil, Report{}, err
@@ -375,8 +377,8 @@ func (f *Framework) StackedInterferometry(v *dass.View, opt StackedInterferometr
 			}
 			return m, m.Bytes(), tr
 		},
-		UDF: func(s *arrayudf.Stencil, shared any) []float64 {
-			return opt.StackedUDFContext(v.Context(), shared.(*detect.StackedMaster))(s)
+		UDFInto: func(s *arrayudf.Stencil, shared any, dst []float64, scr *daslib.Scratch) {
+			opt.StackedUDFIntoContext(v.Context(), shared.(*detect.StackedMaster))(s, dst, scr)
 		},
 	}, opt.OutPath)
 	if err != nil {
@@ -402,7 +404,7 @@ func (f *Framework) stalta(v *dass.View, p detect.STALTAParams, outPath string) 
 	if err := p.Validate(); err != nil {
 		return nil, Report{}, err
 	}
-	rep, err := f.engine().RunPoints(v, haee.PointsWorkload{Spec: p.Spec(), UDF: p.UDF()}, outPath)
+	rep, err := f.engine().RunPoints(v, haee.PointsWorkload{Spec: p.Spec(), UDFScratch: p.UDFScratch()}, outPath)
 	if err != nil {
 		return nil, Report{}, err
 	}

@@ -3,13 +3,22 @@ package daslib
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
-// Demean subtracts the mean of x, returning a new slice.
+// Demean subtracts the mean of x, returning a new slice — a thin
+// allocating shim over DemeanInPlace.
 func Demean(x []float64) []float64 {
 	out := make([]float64, len(x))
+	copy(out, x)
+	DemeanInPlace(out)
+	return out
+}
+
+// DemeanInPlace subtracts the mean of x in place.
+func DemeanInPlace(x []float64) {
 	if len(x) == 0 {
-		return out
+		return
 	}
 	var mean float64
 	for _, v := range x {
@@ -17,21 +26,30 @@ func Demean(x []float64) []float64 {
 	}
 	mean /= float64(len(x))
 	for i, v := range x {
-		out[i] = v - mean
+		x[i] = v - mean
 	}
-	return out
 }
 
 // Detrend removes the least-squares straight-line fit from x, matching
-// MATLAB's detrend (the paper's Das_detrend).
+// MATLAB's detrend (the paper's Das_detrend) — a thin allocating shim over
+// DetrendInPlace.
 func Detrend(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	DetrendInPlace(out)
+	return out
+}
+
+// DetrendInPlace removes the least-squares straight-line fit from x in
+// place.
+func DetrendInPlace(x []float64) {
 	n := len(x)
-	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return
 	}
 	if n == 1 {
-		return out // a single point detrends to zero
+		x[0] = 0 // a single point detrends to zero
+		return
 	}
 	// Fit x[i] ≈ a + b·i by least squares on centered indices.
 	tMean := float64(n-1) / 2
@@ -47,9 +65,8 @@ func Detrend(x []float64) []float64 {
 	}
 	slope := num / den
 	for i, v := range x {
-		out[i] = v - (xMean + slope*(float64(i)-tMean))
+		x[i] = v - (xMean + slope*(float64(i)-tMean))
 	}
-	return out
 }
 
 // AbsCorr returns the absolute normalized correlation of two equal-length
@@ -168,17 +185,46 @@ func RMS(x []float64) float64 {
 	return math.Sqrt(s / float64(len(x)))
 }
 
+// hannCache holds the shared Hann window per length, built once like the
+// twiddle tables — STFT alone rebuilds the same window per call otherwise.
+var hannCache = struct {
+	sync.RWMutex
+	m map[int][]float64
+}{m: map[int][]float64{}}
+
+// hannWin returns the cached n-point Hann window. The returned slice is
+// shared and must not be modified.
+func hannWin(n int) []float64 {
+	hannCache.RLock()
+	w, ok := hannCache.m[n]
+	hannCache.RUnlock()
+	if ok {
+		return w
+	}
+	w = make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+	} else {
+		for i := range w {
+			w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+		}
+	}
+	hannCache.Lock()
+	if have, ok := hannCache.m[n]; ok {
+		w = have
+	} else {
+		hannCache.m[n] = w
+	}
+	hannCache.Unlock()
+	return w
+}
+
 // Hann returns an n-point Hann window (periodic form for n>1 symmetric
-// definition, as MATLAB's hann(n)).
+// definition, as MATLAB's hann(n)). The window vector is cached per length;
+// callers get a private copy.
 func Hann(n int) []float64 {
 	out := make([]float64, n)
-	if n == 1 {
-		out[0] = 1
-		return out
-	}
-	for i := range out {
-		out[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
-	}
+	copy(out, hannWin(n))
 	return out
 }
 
@@ -197,40 +243,111 @@ func besselI0(x float64) float64 {
 	return sum
 }
 
-// Kaiser returns an n-point Kaiser window with shape parameter beta.
+// kaiserCache holds the shared Kaiser window per (n, beta) — Resample's
+// anti-aliasing design rebuilds the same window for every call otherwise.
+var kaiserCache = struct {
+	sync.RWMutex
+	m map[kaiserKey][]float64
+}{m: map[kaiserKey][]float64{}}
+
+type kaiserKey struct {
+	n    int
+	beta float64
+}
+
+// kaiserWin returns the cached n-point Kaiser window. The returned slice is
+// shared and must not be modified.
+func kaiserWin(n int, beta float64) []float64 {
+	key := kaiserKey{n, beta}
+	kaiserCache.RLock()
+	w, ok := kaiserCache.m[key]
+	kaiserCache.RUnlock()
+	if ok {
+		return w
+	}
+	w = make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+	} else {
+		denom := besselI0(beta)
+		m := float64(n - 1)
+		for i := range w {
+			t := 2*float64(i)/m - 1
+			w[i] = besselI0(beta*math.Sqrt(1-t*t)) / denom
+		}
+	}
+	kaiserCache.Lock()
+	if have, ok := kaiserCache.m[key]; ok {
+		w = have
+	} else {
+		kaiserCache.m[key] = w
+	}
+	kaiserCache.Unlock()
+	return w
+}
+
+// Kaiser returns an n-point Kaiser window with shape parameter beta. The
+// window vector is cached per (n, beta); callers get a private copy.
 func Kaiser(n int, beta float64) []float64 {
 	out := make([]float64, n)
-	if n == 1 {
-		out[0] = 1
-		return out
-	}
-	denom := besselI0(beta)
-	m := float64(n - 1)
-	for i := range out {
-		t := 2*float64(i)/m - 1
-		out[i] = besselI0(beta*math.Sqrt(1-t*t)) / denom
-	}
+	copy(out, kaiserWin(n, beta))
 	return out
+}
+
+// taperCache holds the shared cosine ramp per taper width w: ramp[i] =
+// 0.5·(1-cos(πi/w)). Detection pipelines taper every channel of every
+// window with the same width, so the trig is paid once.
+var taperCache = struct {
+	sync.RWMutex
+	m map[int][]float64
+}{m: map[int][]float64{}}
+
+func taperRamp(w int) []float64 {
+	taperCache.RLock()
+	r, ok := taperCache.m[w]
+	taperCache.RUnlock()
+	if ok {
+		return r
+	}
+	r = make([]float64, w)
+	for i := range r {
+		r[i] = 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(w)))
+	}
+	taperCache.Lock()
+	if have, ok := taperCache.m[w]; ok {
+		r = have
+	} else {
+		taperCache.m[w] = r
+	}
+	taperCache.Unlock()
+	return r
 }
 
 // Taper applies a cosine (Tukey-style) taper covering frac of each end of
 // x in place and returns x, the standard pre-processing step before
 // spectral analysis of seismic windows.
 func Taper(x []float64, frac float64) []float64 {
+	TaperInPlace(x, frac)
+	return x
+}
+
+// TaperInPlace is Taper without the return value — the canonical mutating
+// form, with the cosine ramp served from the per-width cache.
+func TaperInPlace(x []float64, frac float64) {
 	n := len(x)
 	w := int(frac * float64(n))
 	if w <= 0 || n == 0 {
-		return x
+		return
 	}
 	if w > n/2 {
 		w = n / 2
 	}
+	ramp := taperRamp(w)
 	for i := 0; i < w; i++ {
-		g := 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(w)))
+		g := ramp[i]
 		x[i] *= g
 		x[n-1-i] *= g
 	}
-	return x
 }
 
 // OneBitNormalize replaces each sample by its sign — a standard
@@ -250,16 +367,34 @@ func OneBitNormalize(x []float64) []float64 {
 
 // SpectralWhiten flattens the amplitude spectrum of x (keeping phase),
 // optionally restricted to [loHz, hiHz] at the given rate; outside the band
-// the spectrum is zeroed. Used by ambient-noise interferometry.
+// the spectrum is zeroed. Used by ambient-noise interferometry. A thin
+// allocating shim over SpectralWhitenInto.
 func SpectralWhiten(x []float64, loHz, hiHz, rate float64) []float64 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	spec := FFTReal(x)
-	freqs := FFTFreqs(n, rate)
+	out := make([]float64, n)
+	s := GetScratch()
+	SpectralWhitenInto(out, x, loHz, hiHz, rate, s)
+	PutScratch(s)
+	return out
+}
+
+// SpectralWhitenInto is SpectralWhiten writing into dst (len(dst) ==
+// len(x); dst may alias x), borrowing the spectrum buffer from s. Both
+// transforms take the packed real-input path, and the bin frequencies come
+// from fftFreqAbs rather than a materialized FFTFreqs table.
+func SpectralWhitenInto(dst, x []float64, loHz, hiHz, rate float64, s *Scratch) {
+	n := len(x)
+	checkLen("SpectralWhitenInto dst", len(dst), n)
+	if n == 0 {
+		return
+	}
+	spec := s.Complex(n)
+	RFFTInto(spec, x, s)
 	for i, v := range spec {
-		f := math.Abs(freqs[i])
+		f := fftFreqAbs(i, n, rate)
 		mag := math.Hypot(real(v), imag(v))
 		if f < loHz || f > hiHz || mag == 0 {
 			spec[i] = 0
@@ -267,5 +402,6 @@ func SpectralWhiten(x []float64, loHz, hiHz, rate float64) []float64 {
 		}
 		spec[i] = v * complex(1/mag, 0)
 	}
-	return IFFTReal(spec)
+	IRFFTInto(dst, spec, s)
+	s.ReleaseComplex(spec)
 }

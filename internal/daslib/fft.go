@@ -2,7 +2,9 @@
 // sequential signal-processing kernels whose names and semantics follow the
 // MATLAB signal processing toolbox (the paper's Table II). The hybrid
 // execution engine (internal/haee) parallelizes these kernels over channels;
-// nothing in this package spawns goroutines or holds global state.
+// nothing in this package spawns goroutines or holds mutable global state —
+// the package-level caches (twiddles, windows, plans) are immutable once
+// published.
 package daslib
 
 import (
@@ -25,84 +27,92 @@ func NextPow2(n int) int {
 // a new slice. Power-of-two lengths use an iterative radix-2 Cooley-Tukey;
 // other lengths use Bluestein's chirp-z algorithm, so the cost is
 // O(n log n) for every n. Matches Das_fft in the paper's Table II.
+//
+// FFT is a thin allocating shim over Plan.FFTInto; hot loops should hold a
+// Plan and a Scratch and call the Into variant directly.
 func FFT(x []complex128) []complex128 {
-	n := len(x)
-	out := make([]complex128, n)
-	copy(out, x)
-	if n <= 1 {
+	out := make([]complex128, len(x))
+	if len(x) == 0 {
 		return out
 	}
-	if n&(n-1) == 0 {
-		fftPow2(out, false)
-		return out
-	}
-	return bluestein(out)
+	s := GetScratch()
+	PlanFFT(len(x)).FFTInto(out, x, s)
+	PutScratch(s)
+	return out
 }
 
 // IFFT computes the inverse DFT with 1/n normalization. Matches Das_ifft.
 func IFFT(x []complex128) []complex128 {
-	n := len(x)
-	out := make([]complex128, n)
-	for i, v := range x {
-		out[i] = cmplx.Conj(v)
+	out := make([]complex128, len(x))
+	if len(x) == 0 {
+		return out
 	}
-	if n > 1 {
-		if n&(n-1) == 0 {
-			fftPow2(out, false)
-		} else {
-			out = bluestein(out)
-		}
-	}
-	inv := 1 / float64(n)
-	for i, v := range out {
-		out[i] = cmplx.Conj(v) * complex(inv, 0)
-	}
+	s := GetScratch()
+	PlanFFT(len(x)).IFFTInto(out, x, s)
+	PutScratch(s)
 	return out
 }
 
 // FFTReal transforms a real signal, returning the full complex spectrum.
+// Even lengths go through the packed real-input transform (RFFT), which
+// does half the work of a complex FFT of the same length.
 func FFTReal(x []float64) []complex128 {
-	cx := make([]complex128, len(x))
-	for i, v := range x {
-		cx[i] = complex(v, 0)
-	}
-	return FFT(cx)
+	return RFFT(x)
 }
 
 // IFFTReal inverts a spectrum known to come from a real signal, returning
 // the real part (the imaginary residue is numerical noise).
 func IFFTReal(x []complex128) []float64 {
-	c := IFFT(x)
-	out := make([]float64, len(c))
-	for i, v := range c {
-		out[i] = real(v)
-	}
-	return out
+	return IRFFT(x)
 }
 
 // twiddleCache holds precomputed unit-circle factors per transform size.
 // DAS pipelines transform the same window length millions of times, so the
 // cache pays for itself immediately; entries are immutable once stored.
-var twiddleCache sync.Map // int -> []complex128
+// A plain RWMutex-guarded map (not sync.Map) keeps the hit path free of
+// interface boxing, so lookups cost no allocation.
+var twiddleCache = struct {
+	sync.RWMutex
+	m map[int][]complex128
+}{m: map[int][]complex128{}}
 
-// twiddles returns exp(-2πi·k/n) for k in [0, n/2).
+// twiddles returns exp(-2πi·k/n) for k in [0, n/2). The returned slice is
+// shared and must not be modified.
 func twiddles(n int) []complex128 {
-	if v, ok := twiddleCache.Load(n); ok {
-		return v.([]complex128)
+	twiddleCache.RLock()
+	tw, ok := twiddleCache.m[n]
+	twiddleCache.RUnlock()
+	if ok {
+		return tw
 	}
-	tw := make([]complex128, n/2)
+	tw = make([]complex128, n/2)
 	for k := range tw {
 		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
 		tw[k] = complex(c, s)
 	}
-	actual, _ := twiddleCache.LoadOrStore(n, tw)
-	return actual.([]complex128)
+	twiddleCache.Lock()
+	if have, ok := twiddleCache.m[n]; ok {
+		tw = have
+	} else {
+		twiddleCache.m[n] = tw
+	}
+	twiddleCache.Unlock()
+	return tw
 }
 
 // fftPow2 is an in-place iterative radix-2 Cooley-Tukey transform.
 // len(x) must be a power of two.
-func fftPow2(x []complex128, _ bool) {
+func fftPow2(x []complex128) {
+	fftPow2Tw(x, twiddles(len(x)))
+}
+
+// fftPow2Tw is fftPow2 with the twiddle table passed in, so plan-driven
+// callers skip the cache lookup entirely.
+func fftPow2Tw(x []complex128, tw []complex128) {
 	n := len(x)
+	if n <= 1 {
+		return
+	}
 	// Bit-reversal permutation.
 	shift := 64 - uint(bits.Len(uint(n-1)))
 	for i := 0; i < n; i++ {
@@ -111,7 +121,6 @@ func fftPow2(x []complex128, _ bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	tw := twiddles(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		stride := n / size // index step into the full-size twiddle table
@@ -125,45 +134,6 @@ func fftPow2(x []complex128, _ bool) {
 			}
 		}
 	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution of chirps.
-func bluestein(x []complex128) []complex128 {
-	n := len(x)
-	m := NextPow2(2*n - 1)
-	// chirp[k] = exp(-iπ k²/n); k² mod 2n avoids precision loss for large k.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
-		chirp[k] = complex(c, s)
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		bc := cmplx.Conj(chirp[k])
-		b[k] = bc
-		if k > 0 {
-			b[m-k] = bc
-		}
-	}
-	fftPow2(a, false)
-	fftPow2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	// Inverse pow-2 FFT of a.
-	for i := range a {
-		a[i] = cmplx.Conj(a[i])
-	}
-	fftPow2(a, false)
-	inv := 1 / float64(m)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = cmplx.Conj(a[k]) * complex(inv, 0) * chirp[k]
-	}
-	return out
 }
 
 // FFTFreqs returns the frequency (Hz) of each DFT bin for a signal of
@@ -185,9 +155,27 @@ func FFTFreqs(n int, rate float64) []float64 {
 	return out
 }
 
+// fftFreqAbs returns |FFTFreqs(n, rate)[i]| without materializing the table,
+// using the exact same arithmetic so band tests agree bit-for-bit.
+func fftFreqAbs(i, n int, rate float64) float64 {
+	df := rate / float64(n)
+	if i <= (n-1)/2 {
+		return math.Abs(float64(i) * df)
+	}
+	return math.Abs(float64(i-n) * df)
+}
+
 // checkLen panics with a clear message on impossible internal states.
 func checkLen(name string, got, want int) {
 	if got != want {
 		panic(fmt.Sprintf("daslib: %s: length %d, want %d", name, got, want))
+	}
+}
+
+// conjScale is the shared IFFT epilogue: x[i] = conj(x[i]) * s.
+func conjScale(x []complex128, s float64) {
+	cs := complex(s, 0)
+	for i, v := range x {
+		x[i] = cmplx.Conj(v) * cs
 	}
 }

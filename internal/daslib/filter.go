@@ -210,6 +210,16 @@ func Filter(b, a, x []float64, zi []float64) ([]float64, error) {
 		z = make([]float64, n-1)
 	}
 	y := make([]float64, len(x))
+	filterCore(bn, an, x, y, z)
+	return y, nil
+}
+
+// filterCore runs the transposed direct-form II loop with normalized,
+// equal-length coefficients (a[0] == 1). y may alias x — y[i] depends only
+// on x[i] and the delay line z (length len(bn)-1), which is updated in
+// place.
+func filterCore(bn, an, x, y, z []float64) {
+	n := len(bn)
 	for i, xv := range x {
 		var yv float64
 		if n == 1 {
@@ -223,7 +233,6 @@ func Filter(b, a, x []float64, zi []float64) ([]float64, error) {
 		}
 		y[i] = yv
 	}
-	return y, nil
 }
 
 // lfilterZI computes the steady-state delay-line state of (b, a) for a unit
@@ -311,52 +320,115 @@ func solveLinear(M [][]float64, rhs []float64) ([]float64, bool) {
 	return x, true
 }
 
+// FilterPlan is a filter design prepared once for repeated zero-phase
+// application: coefficients normalized to a[0] == 1 and padded to equal
+// length, plus the steady-state unit-step initial conditions FiltFilt
+// scales per signal. Detection pipelines run the same Butterworth design
+// over every channel of every window; the plan hoists the normalization
+// and the companion-matrix solve out of that loop.
+//
+// A plan is immutable after NewFilterPlan and safe for concurrent use.
+type FilterPlan struct {
+	bn, an []float64
+	ziUnit []float64
+	padlen int
+}
+
+// NewFilterPlan normalizes (b, a) and precomputes the filtfilt initial
+// conditions.
+func NewFilterPlan(b, a []float64) (*FilterPlan, error) {
+	if len(a) == 0 || a[0] == 0 {
+		return nil, fmt.Errorf("daslib: FilterPlan needs a[0] != 0")
+	}
+	n := max(len(a), len(b))
+	fp := &FilterPlan{
+		bn:     make([]float64, n),
+		an:     make([]float64, n),
+		padlen: 3 * (n - 1),
+	}
+	for i := range b {
+		fp.bn[i] = b[i] / a[0]
+	}
+	for i := range a {
+		fp.an[i] = a[i] / a[0]
+	}
+	if fp.padlen > 0 {
+		zi, err := lfilterZI(b, a)
+		if err != nil {
+			return nil, err
+		}
+		fp.ziUnit = zi
+	}
+	return fp, nil
+}
+
+// PadLen returns the reflection padding the plan applies per end; inputs
+// to FiltFiltInto must be longer than this.
+func (fp *FilterPlan) PadLen() int { return fp.padlen }
+
+// FiltFiltInto zero-phase filters x into dst (len(dst) == len(x); dst may
+// alias x), borrowing the extension and delay-line buffers from s. Both
+// filter passes run in place on the extension buffer, so a warm scratch
+// makes the whole call allocation-free.
+func (fp *FilterPlan) FiltFiltInto(dst, x []float64, s *Scratch) error {
+	checkLen("FiltFiltInto dst", len(dst), len(x))
+	if fp.padlen == 0 {
+		filterCore(fp.bn, fp.an, x, dst, nil)
+		return nil
+	}
+	if len(x) <= fp.padlen {
+		return fmt.Errorf("daslib: FiltFilt input length %d must exceed pad length %d", len(x), fp.padlen)
+	}
+	// Odd extension.
+	ext := s.Float(len(x) + 2*fp.padlen)
+	idx := 0
+	for i := fp.padlen; i >= 1; i-- {
+		ext[idx] = 2*x[0] - x[i]
+		idx++
+	}
+	copy(ext[idx:], x)
+	idx += len(x)
+	for i := len(x) - 2; i >= len(x)-1-fp.padlen; i-- {
+		ext[idx] = 2*x[len(x)-1] - x[i]
+		idx++
+	}
+	// Forward pass with zi scaled to the first sample.
+	zi := s.Float(len(fp.ziUnit))
+	for i, v := range fp.ziUnit {
+		zi[i] = v * ext[0]
+	}
+	filterCore(fp.bn, fp.an, ext, ext, zi)
+	reverse(ext)
+	for i, v := range fp.ziUnit {
+		zi[i] = v * ext[0]
+	}
+	filterCore(fp.bn, fp.an, ext, ext, zi)
+	reverse(ext)
+	copy(dst, ext[fp.padlen:fp.padlen+len(x)])
+	s.ReleaseFloat(zi)
+	s.ReleaseFloat(ext)
+	return nil
+}
+
 // FiltFilt applies (b, a) forward and backward for zero-phase filtering,
 // matching MATLAB's filtfilt (the paper's Das_filtfilt): the signal is
 // extended by odd reflection at both ends, filtered with steady-state
 // initial conditions, reversed, filtered again, and trimmed.
+//
+// FiltFilt is a thin allocating shim over FilterPlan.FiltFiltInto; hot
+// loops should build the plan once and call the Into variant.
 func FiltFilt(b, a, x []float64) ([]float64, error) {
-	n := max(len(a), len(b))
-	padlen := 3 * (n - 1)
-	if padlen == 0 {
-		return Filter(b, a, x, nil)
-	}
-	if len(x) <= padlen {
-		return nil, fmt.Errorf("daslib: FiltFilt input length %d must exceed pad length %d", len(x), padlen)
-	}
-	ziUnit, err := lfilterZI(b, a)
+	fp, err := NewFilterPlan(b, a)
 	if err != nil {
 		return nil, err
 	}
-	// Odd extension.
-	ext := make([]float64, 0, len(x)+2*padlen)
-	for i := padlen; i >= 1; i-- {
-		ext = append(ext, 2*x[0]-x[i])
-	}
-	ext = append(ext, x...)
-	for i := len(x) - 2; i >= len(x)-1-padlen; i-- {
-		ext = append(ext, 2*x[len(x)-1]-x[i])
-	}
-	// Forward pass with zi scaled to the first sample.
-	zi := make([]float64, len(ziUnit))
-	for i, v := range ziUnit {
-		zi[i] = v * ext[0]
-	}
-	y, err := Filter(b, a, ext, zi)
-	if err != nil {
-		return nil, err
-	}
-	reverse(y)
-	for i, v := range ziUnit {
-		zi[i] = v * y[0]
-	}
-	y, err = Filter(b, a, y, zi)
-	if err != nil {
-		return nil, err
-	}
-	reverse(y)
 	out := make([]float64, len(x))
-	copy(out, y[padlen:padlen+len(x)])
+	s := GetScratch()
+	err = fp.FiltFiltInto(out, x, s)
+	PutScratch(s)
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package daslib
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // gcd returns the greatest common divisor of a and b (both positive).
@@ -13,24 +14,31 @@ func gcd(a, b int) int {
 	return a
 }
 
-// Resample changes the sample rate of x by the rational factor p/q using a
-// polyphase anti-aliasing FIR (Kaiser-windowed sinc), matching MATLAB's
-// resample(x, p, q) — the paper's Das_resample. The output has
-// ceil(len(x)*p/q) samples and is group-delay compensated, so y[k]
-// corresponds to x at time k*q/p.
-func Resample(x []float64, p, q int) ([]float64, error) {
-	if p < 1 || q < 1 {
-		return nil, fmt.Errorf("daslib: Resample factors must be positive, got %d/%d", p, q)
-	}
-	if len(x) == 0 {
-		return []float64{}, nil
-	}
-	g := gcd(p, q)
-	p, q = p/g, q/g
-	if p == 1 && q == 1 {
-		out := make([]float64, len(x))
-		copy(out, x)
-		return out, nil
+// resamplePlan holds the polyphase anti-aliasing FIR for a reduced p/q
+// ratio. The design (Kaiser window, windowed sinc, DC normalization) is
+// exactly what Resample built per call before; now it is computed once per
+// ratio and shared.
+type resamplePlan struct {
+	p, q   int
+	half   int
+	length int
+	h      []float64
+}
+
+var resampleCache = struct {
+	sync.RWMutex
+	m map[[2]int]*resamplePlan
+}{m: map[[2]int]*resamplePlan{}}
+
+// resamplePlanFor returns the cached plan for the already-gcd-reduced
+// ratio p/q.
+func resamplePlanFor(p, q int) *resamplePlan {
+	key := [2]int{p, q}
+	resampleCache.RLock()
+	rp, ok := resampleCache.m[key]
+	resampleCache.RUnlock()
+	if ok {
+		return rp
 	}
 	// Anti-aliasing lowpass at min(π/p, π/q) in the upsampled domain.
 	// MATLAB default: N = 10, Kaiser beta = 5, length 2*N*max(p,q)+1.
@@ -40,7 +48,7 @@ func Resample(x []float64, p, q int) ([]float64, error) {
 	half := nTaps * maxPQ
 	length := 2*half + 1
 	fc := 1.0 / float64(2*maxPQ) // cycles/sample in the upsampled domain
-	win := Kaiser(length, beta)
+	win := kaiserWin(length, beta)
 	h := make([]float64, length)
 	var sum float64
 	for i := range h {
@@ -60,30 +68,94 @@ func Resample(x []float64, p, q int) ([]float64, error) {
 	for i := range h {
 		h[i] *= scale
 	}
+	rp = &resamplePlan{p: p, q: q, half: half, length: length, h: h}
+	resampleCache.Lock()
+	if have, ok := resampleCache.m[key]; ok {
+		rp = have
+	} else {
+		resampleCache.m[key] = rp
+	}
+	resampleCache.Unlock()
+	return rp
+}
 
-	outLen := (len(x)*p + q - 1) / q
-	out := make([]float64, outLen)
-	// y[m] = sum_k h[k] · xup[m*q + half - k], where xup[i] = x[i/p] when
-	// i % p == 0. The +half centers the filter, compensating group delay.
-	for m := 0; m < outLen; m++ {
-		center := m*q + half
-		// k must satisfy (center - k) % p == 0 and 0 <= (center-k)/p < len(x).
-		// Walk k over the single polyphase branch.
-		kStart := center % p
-		var acc float64
-		for k := kStart; k < length; k += p {
-			xi := (center - k) / p
-			if xi < 0 {
-				break // xi decreases as k grows? no: center-k decreases; break when negative
-			}
-			if xi >= len(x) {
-				continue
-			}
-			acc += h[k] * x[xi]
-		}
-		out[m] = acc
+// ResampleLen returns the output length of Resample for an input of length
+// n and factors p/q: ceil(n·p/q).
+func ResampleLen(n, p, q int) int {
+	if n == 0 || p < 1 || q < 1 {
+		return 0
+	}
+	g := gcd(p, q)
+	p, q = p/g, q/g
+	return (n*p + q - 1) / q
+}
+
+// Resample changes the sample rate of x by the rational factor p/q using a
+// polyphase anti-aliasing FIR (Kaiser-windowed sinc), matching MATLAB's
+// resample(x, p, q) — the paper's Das_resample. The output has
+// ceil(len(x)*p/q) samples and is group-delay compensated, so y[k]
+// corresponds to x at time k*q/p.
+//
+// Resample is a thin allocating shim over ResampleInto.
+func Resample(x []float64, p, q int) ([]float64, error) {
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("daslib: Resample factors must be positive, got %d/%d", p, q)
+	}
+	if len(x) == 0 {
+		return []float64{}, nil
+	}
+	out := make([]float64, ResampleLen(len(x), p, q))
+	if err := ResampleInto(out, x, p, q, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ResampleInto is Resample writing into dst (len(dst) ==
+// ResampleLen(len(x), p, q)). The FIR design comes from the per-ratio plan
+// cache and the polyphase loop writes straight into dst, so the call does
+// not allocate. The scratch parameter is accepted for signature symmetry
+// with the other Into kernels; this kernel needs no intermediates.
+func ResampleInto(dst, x []float64, p, q int, _ *Scratch) error {
+	if p < 1 || q < 1 {
+		return fmt.Errorf("daslib: Resample factors must be positive, got %d/%d", p, q)
+	}
+	outLen := ResampleLen(len(x), p, q)
+	checkLen("ResampleInto dst", len(dst), outLen)
+	if len(x) == 0 {
+		return nil
+	}
+	g := gcd(p, q)
+	p, q = p/g, q/g
+	if p == 1 && q == 1 {
+		copy(dst, x)
+		return nil
+	}
+	rp := resamplePlanFor(p, q)
+	h, half, length := rp.h, rp.half, rp.length
+	// y[m] = sum_k h[k] · xup[m*q + half - k], where xup[i] = x[i/p] when
+	// i % p == 0. The +half centers the filter, compensating group delay.
+	// Along one polyphase branch the source index decreases by exactly one
+	// per tap, so it is carried down the loop instead of divided out — the
+	// taps visited and their order are unchanged, keeping the sum
+	// bit-identical.
+	for m := 0; m < outLen; m++ {
+		center := m*q + half
+		k := center % p
+		xi := (center - k) / p
+		if xi >= len(x) {
+			// Taps past the end of x contribute nothing; jump to the first
+			// in-range source sample.
+			k += (xi - len(x) + 1) * p
+			xi = len(x) - 1
+		}
+		var acc float64
+		for ; k < length && xi >= 0; k, xi = k+p, xi-1 {
+			acc += h[k] * x[xi]
+		}
+		dst[m] = acc
+	}
+	return nil
 }
 
 // Decimate reduces the sample rate by an integer factor r after zero-phase

@@ -71,7 +71,7 @@ func STFT(x []float64, nfft, hop int, rate float64) (*Spectrogram, error) {
 	if len(x) < nfft {
 		return nil, fmt.Errorf("daslib: STFT input length %d shorter than nfft %d", len(x), nfft)
 	}
-	win := Hann(nfft)
+	win := hannWin(nfft) // shared cache entry; read-only here
 	bins := nfft/2 + 1
 	var mags [][]float64
 	frame := make([]complex128, nfft)
@@ -79,7 +79,7 @@ func STFT(x []float64, nfft, hop int, rate float64) (*Spectrogram, error) {
 		for i := 0; i < nfft; i++ {
 			frame[i] = complex(x[start+i]*win[i], 0)
 		}
-		fftPow2(frame, false)
+		fftPow2(frame)
 		row := make([]float64, bins)
 		for b := 0; b < bins; b++ {
 			row[b] = cmplx.Abs(frame[b])

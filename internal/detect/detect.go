@@ -7,6 +7,7 @@ package detect
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dassa/internal/arrayudf"
 	"dassa/internal/dasf"
@@ -46,16 +47,32 @@ func (p LocalSimiParams) Spec() arrayudf.Spec {
 // neighbors. NaN-masked gaps (degraded reads) are skipped, not correlated:
 // a cell whose own window is masked scores 0, and masked neighbor windows
 // contribute nothing — so gaps can never manufacture a detection.
+//
+// UDF is a thin shim over UDFScratch with a nil (allocate-fresh) arena.
 func (p LocalSimiParams) UDF() arrayudf.PointUDF {
-	return func(s *arrayudf.Stencil) float64 {
-		w := s.Window(-p.M, p.M, 0)
+	udf := p.UDFScratch()
+	return func(s *arrayudf.Stencil) float64 { return udf(s, nil) }
+}
+
+// UDFScratch is UDF with the three comparison windows borrowed from a
+// per-thread scratch arena — the fig10 hot path evaluates this once per
+// cell per lag, so the arena removes three window allocations per lag
+// scan.
+func (p LocalSimiParams) UDFScratch() func(s *arrayudf.Stencil, scr *daslib.Scratch) float64 {
+	width := 2*p.M + 1
+	return func(s *arrayudf.Stencil, scr *daslib.Scratch) float64 {
+		w := scr.Float(width)
+		s.WindowInto(w, -p.M, p.M, 0)
 		if hasNaN(w) {
+			scr.ReleaseFloat(w)
 			return 0
 		}
+		w1 := scr.Float(width)
+		w2 := scr.Float(width)
 		var cPlus, cMinus float64
 		for l := -p.L; l <= p.L; l++ {
-			w1 := s.Window(l-p.M, l+p.M, +p.K)
-			w2 := s.Window(l-p.M, l+p.M, -p.K)
+			s.WindowInto(w1, l-p.M, l+p.M, +p.K)
+			s.WindowInto(w2, l-p.M, l+p.M, -p.K)
 			if !hasNaN(w1) {
 				cPlus = math.Max(cPlus, daslib.AbsCorr(w, w1))
 			}
@@ -63,6 +80,9 @@ func (p LocalSimiParams) UDF() arrayudf.PointUDF {
 				cMinus = math.Max(cMinus, daslib.AbsCorr(w, w2))
 			}
 		}
+		scr.ReleaseFloat(w2)
+		scr.ReleaseFloat(w1)
+		scr.ReleaseFloat(w)
 		return (cPlus + cMinus) / 2
 	}
 }
@@ -137,22 +157,97 @@ func (p InterferometryParams) Validate() error {
 	return nil
 }
 
+// preprocessor is the filter design of Preprocess, built once per
+// parameter set: Butter runs a polynomial root expansion and FilterPlan a
+// companion-matrix solve, neither of which belongs in the per-channel
+// loop. InterferometryParams is a comparable value type, so it keys the
+// cache directly.
+type preprocessor struct {
+	fp *daslib.FilterPlan
+}
+
+var prepCache = struct {
+	sync.RWMutex
+	m map[InterferometryParams]*preprocessor
+}{m: map[InterferometryParams]*preprocessor{}}
+
+func (p InterferometryParams) preprocessor() (*preprocessor, error) {
+	prepCache.RLock()
+	pp, ok := prepCache.m[p]
+	prepCache.RUnlock()
+	if ok {
+		return pp, nil
+	}
+	b, a, err := daslib.Butter(p.FilterOrder, daslib.Lowpass, p.CutoffHz/(p.Rate/2))
+	if err != nil {
+		return nil, err
+	}
+	fp, err := daslib.NewFilterPlan(b, a)
+	if err != nil {
+		return nil, err
+	}
+	pp = &preprocessor{fp: fp}
+	prepCache.Lock()
+	if have, ok := prepCache.m[p]; ok {
+		pp = have
+	} else {
+		prepCache.m[p] = pp
+	}
+	prepCache.Unlock()
+	return pp, nil
+}
+
 // Preprocess is the per-channel front half of Algorithm 3: detrend,
 // zero-phase lowpass, resample. It is applied identically to the master
 // channel and to every analyzed channel. NaN gap markers from degraded
 // reads are treated as silence (zero) so the filters stay finite; clean
 // input passes through bit-identically.
+//
+// Preprocess is a thin allocating shim over PreprocessInto.
 func (p InterferometryParams) Preprocess(x []float64) ([]float64, error) {
-	w1 := daslib.Detrend(zeroGaps(x))
-	b, a, err := daslib.Butter(p.FilterOrder, daslib.Lowpass, p.CutoffHz/(p.Rate/2))
+	pp, err := p.preprocessor()
 	if err != nil {
 		return nil, err
 	}
-	w2, err := daslib.FiltFilt(b, a, w1)
+	out := make([]float64, p.resampledLen(len(x)))
+	s := daslib.GetScratch()
+	err = pp.preprocessInto(out, x, p, s)
+	daslib.PutScratch(s)
 	if err != nil {
 		return nil, err
 	}
-	return daslib.Resample(w2, p.ResampleP, p.ResampleQ)
+	return out, nil
+}
+
+// preprocessInto runs the chain into dst (length p.resampledLen(len(x))),
+// borrowing every intermediate from s: the working copy is detrended and
+// filtered in place, then resampled into dst.
+func (pp *preprocessor) preprocessInto(dst, x []float64, p InterferometryParams, s *daslib.Scratch) error {
+	w := s.Float(len(x))
+	for i, v := range x {
+		if math.IsNaN(v) {
+			w[i] = 0
+		} else {
+			w[i] = v
+		}
+	}
+	daslib.DetrendInPlace(w)
+	if err := pp.fp.FiltFiltInto(w, w, s); err != nil {
+		return err
+	}
+	err := daslib.ResampleInto(dst, w, p.ResampleP, p.ResampleQ, s)
+	s.ReleaseFloat(w)
+	return err
+}
+
+// PreprocessInto is Preprocess writing into dst (length
+// p.resampledLen(len(x))), with all intermediates borrowed from s.
+func (p InterferometryParams) PreprocessInto(dst, x []float64, s *daslib.Scratch) error {
+	pp, err := p.preprocessor()
+	if err != nil {
+		return err
+	}
+	return pp.preprocessInto(dst, x, p, s)
 }
 
 // resampledLen returns the output length of Preprocess for input length n.
@@ -176,17 +271,24 @@ func (p InterferometryParams) RowLen(nt int) int {
 }
 
 // Master holds the shared, per-node payload of the interferometry
-// workload: the preprocessed master channel and its spectrum (Mfft in
-// Algorithm 3). In pure MPI every rank holds its own copy — the memory
-// pressure Figure 8 demonstrates.
+// workload: the preprocessed master channel, its spectrum (Mfft in
+// Algorithm 3), and the prepared correlation master — the time-reversed,
+// padded spectrum every channel's cross-correlation reuses instead of
+// re-transforming the master per channel. In pure MPI every rank holds its
+// own copy — the memory pressure Figure 8 demonstrates.
 type Master struct {
 	Series   []float64
 	Spectrum []complex128
+	Corr     *daslib.XCorrMaster
 }
 
 // Bytes estimates the payload's memory footprint.
 func (m *Master) Bytes() int64 {
-	return int64(len(m.Series))*8 + int64(len(m.Spectrum))*16
+	b := int64(len(m.Series))*8 + int64(len(m.Spectrum))*16
+	if m.Corr != nil {
+		b += int64(m.Corr.Len()) * 16
+	}
+	return b
 }
 
 // PrepareMaster loads and preprocesses the master channel from the view.
@@ -209,14 +311,38 @@ func (p InterferometryParams) PrepareMaster(v *dass.View) (*Master, pfs.Trace, e
 	if err != nil {
 		return nil, tr, err
 	}
-	return &Master{Series: series, Spectrum: daslib.FFTReal(series)}, tr, nil
+	return &Master{
+		Series:   series,
+		Spectrum: daslib.FFTReal(series),
+		Corr:     daslib.PrepareXCorrMaster(series, len(series)),
+	}, tr, nil
 }
 
 // Workload assembles Algorithm 3 as a HAEE rows-workload returning, per
 // channel, the time-domain noise correlation with the master channel
-// (lags ordered negative→positive, trimmed to ±MaxLag).
+// (lags ordered negative→positive, trimmed to ±MaxLag). The engine runs
+// UDFInto — preprocess into scratch, correlate against the master's
+// prepared spectrum, trim into the engine-owned row; UDF is the allocating
+// fallback for legacy callers.
 func (p InterferometryParams) Workload(nt int) RowsWorkloadParts {
 	rowLen := p.RowLen(nt)
+	resLen := p.resampledLen(nt)
+	udfInto := func(s *arrayudf.Stencil, shared any, dst []float64, scr *daslib.Scratch) {
+		master := shared.(*Master)
+		series := scr.Float(resLen)
+		if err := p.PreprocessInto(series, s.Row(0), scr); err != nil {
+			panic(fmt.Errorf("detect: preprocess: %w", err))
+		}
+		corr := scr.Float(daslib.XCorrLen(len(series), len(master.Series)))
+		if master.Corr != nil {
+			master.Corr.XCorrNormalizedInto(corr, series, scr)
+		} else {
+			daslib.XCorrNormalizedInto(corr, series, master.Series, scr)
+		}
+		TrimLagsInto(dst, corr, len(series), len(master.Series))
+		scr.ReleaseFloat(corr)
+		scr.ReleaseFloat(series)
+	}
 	return RowsWorkloadParts{
 		RowLen: rowLen,
 		Prepare: func(c *mpi.Comm, v *dass.View) (any, int64, pfs.Trace) {
@@ -227,14 +353,11 @@ func (p InterferometryParams) Workload(nt int) RowsWorkloadParts {
 			return m, m.Bytes(), tr
 		},
 		UDF: func(s *arrayudf.Stencil, shared any) []float64 {
-			master := shared.(*Master)
-			series, err := p.Preprocess(s.Row(0))
-			if err != nil {
-				panic(fmt.Errorf("detect: preprocess: %w", err))
-			}
-			corr := daslib.XCorrNormalized(series, master.Series)
-			return TrimLags(corr, len(series), len(master.Series), rowLen)
+			dst := make([]float64, rowLen)
+			udfInto(s, shared, dst, nil)
+			return dst
 		},
+		UDFInto: udfInto,
 	}
 }
 
@@ -258,15 +381,26 @@ type RowsWorkloadParts struct {
 	RowLen  int
 	Prepare func(c *mpi.Comm, v *dass.View) (any, int64, pfs.Trace)
 	UDF     func(s *arrayudf.Stencil, shared any) []float64
+	UDFInto func(s *arrayudf.Stencil, shared any, dst []float64, scr *daslib.Scratch)
 }
 
 // TrimLags cuts a full cross-correlation (length na+nb-1, zero lag at index
-// nb-1) down to rowLen samples centered on zero lag.
+// nb-1) down to rowLen samples centered on zero lag — a thin allocating
+// shim over TrimLagsInto.
 func TrimLags(corr []float64, na, nb, rowLen int) []float64 {
+	out := make([]float64, rowLen)
+	TrimLagsInto(out, corr, na, nb)
+	return out
+}
+
+// TrimLagsInto is TrimLags writing the len(dst) samples centered on zero
+// lag into dst.
+func TrimLagsInto(dst, corr []float64, na, nb int) {
+	rowLen := len(dst)
 	if len(corr) <= rowLen {
-		out := make([]float64, rowLen)
-		copy(out, corr)
-		return out
+		n := copy(dst, corr)
+		clear(dst[n:])
+		return
 	}
 	zero := nb - 1
 	half := rowLen / 2
@@ -277,9 +411,7 @@ func TrimLags(corr []float64, na, nb, rowLen int) []float64 {
 	if lo+rowLen > len(corr) {
 		lo = len(corr) - rowLen
 	}
-	out := make([]float64, rowLen)
-	copy(out, corr[lo:lo+rowLen])
-	return out
+	copy(dst, corr[lo:lo+rowLen])
 }
 
 // Region is a detected event: a time interval (in output sample indices)

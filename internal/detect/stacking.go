@@ -58,11 +58,15 @@ func (p StackingParams) StackedRowLen() int {
 }
 
 // PrepareStackedMaster preprocesses the master channel per window and
-// returns the per-window series — every worker needs all of them, so in
-// pure MPI this payload (windows × resampled length) replicates per core,
-// amplifying the Figure 8 memory argument.
+// returns the per-window series plus the per-window prepared correlation
+// spectra — every worker needs all of them, so in pure MPI this payload
+// (windows × resampled length) replicates per core, amplifying the
+// Figure 8 memory argument.
 type StackedMaster struct {
 	Windows [][]float64
+	// Corrs[w] is the reusable time-reversed padded spectrum of Windows[w];
+	// nil entries (hand-built masters) fall back to pairwise correlation.
+	Corrs []*daslib.XCorrMaster
 }
 
 // Bytes estimates the payload size.
@@ -70,6 +74,11 @@ func (m *StackedMaster) Bytes() int64 {
 	var n int64
 	for _, w := range m.Windows {
 		n += int64(len(w)) * 8
+	}
+	for _, c := range m.Corrs {
+		if c != nil {
+			n += int64(c.Len()) * 16
+		}
 	}
 	return n
 }
@@ -82,13 +91,14 @@ func (p StackingParams) prepareStackedMaster(raw []float64) (*StackedMaster, err
 		return nil, fmt.Errorf("detect: record (%d samples) shorter than one window (%d)", len(raw), p.WindowSamples)
 	}
 	hop := p.WindowSamples - p.OverlapSamples
-	m := &StackedMaster{Windows: make([][]float64, nw)}
+	m := &StackedMaster{Windows: make([][]float64, nw), Corrs: make([]*daslib.XCorrMaster, nw)}
 	for w := 0; w < nw; w++ {
 		series, err := p.Preprocess(raw[w*hop : w*hop+p.WindowSamples])
 		if err != nil {
 			return nil, err
 		}
 		m.Windows[w] = series
+		m.Corrs[w] = daslib.PrepareXCorrMaster(series, len(series))
 	}
 	return m, nil
 }
@@ -127,35 +137,61 @@ func (p StackingParams) StackedUDF(master *StackedMaster) func(s *arrayudf.Stenc
 // window is one filter+FFT correlation, heavy enough that per-window checks
 // cost nothing and a cancelled run stops within one window's work. The
 // panic unwinds through the thread team and mpi.Run as the context's error.
+//
+// A thin allocating shim over StackedUDFIntoContext.
 func (p StackingParams) StackedUDFContext(ctx context.Context, master *StackedMaster) func(s *arrayudf.Stencil) []float64 {
 	rowLen := p.StackedRowLen()
-	hop := p.WindowSamples - p.OverlapSamples
+	into := p.StackedUDFIntoContext(ctx, master)
 	return func(s *arrayudf.Stencil) []float64 {
-		raw := s.Row(0)
 		stack := make([]float64, rowLen)
+		into(s, stack, nil)
+		return stack
+	}
+}
+
+// StackedUDFIntoContext is the destination-passing form the engine runs:
+// the stacked correlation is accumulated straight into dst (length
+// StackedRowLen) and every per-window intermediate — preprocessed series,
+// raw correlation, trimmed row — is borrowed from the scratch arena, so
+// stacking W windows costs zero allocations after warm-up instead of 3·W
+// slices per channel.
+func (p StackingParams) StackedUDFIntoContext(ctx context.Context, master *StackedMaster) func(s *arrayudf.Stencil, dst []float64, scr *daslib.Scratch) {
+	hop := p.WindowSamples - p.OverlapSamples
+	resLen := p.resampledLen(p.WindowSamples)
+	return func(s *arrayudf.Stencil, dst []float64, scr *daslib.Scratch) {
+		raw := s.Row(0)
+		clear(dst)
 		nw := min(p.NumWindows(len(raw)), len(master.Windows))
 		if nw == 0 {
-			return stack
+			return
 		}
+		series := scr.Float(resLen)
+		trimmed := scr.Float(len(dst))
 		for w := 0; w < nw; w++ {
 			if err := ctx.Err(); err != nil {
 				panic(fmt.Errorf("detect: stacked correlate: %w", err))
 			}
-			series, err := p.Preprocess(raw[w*hop : w*hop+p.WindowSamples])
-			if err != nil {
+			if err := p.PreprocessInto(series, raw[w*hop:w*hop+p.WindowSamples], scr); err != nil {
 				panic(fmt.Errorf("detect: stacked preprocess: %w", err))
 			}
 			mw := master.Windows[w]
-			corr := daslib.XCorrNormalized(series, mw)
-			trimmed := TrimLags(corr, len(series), len(mw), rowLen)
+			corr := scr.Float(daslib.XCorrLen(len(series), len(mw)))
+			if w < len(master.Corrs) && master.Corrs[w] != nil {
+				master.Corrs[w].XCorrNormalizedInto(corr, series, scr)
+			} else {
+				daslib.XCorrNormalizedInto(corr, series, mw, scr)
+			}
+			TrimLagsInto(trimmed, corr, len(series), len(mw))
+			scr.ReleaseFloat(corr)
 			for i, v := range trimmed {
-				stack[i] += v
+				dst[i] += v
 			}
 		}
+		scr.ReleaseFloat(trimmed)
+		scr.ReleaseFloat(series)
 		inv := 1 / float64(nw)
-		for i := range stack {
-			stack[i] *= inv
+		for i := range dst {
+			dst[i] *= inv
 		}
-		return stack
 	}
 }

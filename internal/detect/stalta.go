@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dassa/internal/arrayudf"
+	"dassa/internal/daslib"
 )
 
 // STA/LTA (short-term average over long-term average) is the classical
@@ -41,15 +42,40 @@ func (p STALTAParams) Spec() arrayudf.Spec {
 // UDF returns the trigger as a PointUDF: the ratio of mean squared
 // amplitude in the trailing short window to the trailing long window.
 // NaN-masked gaps count as silence, so a degraded span cannot trigger.
+//
+// UDF is a thin shim over UDFScratch with a nil (allocate-fresh) arena.
 func (p STALTAParams) UDF() arrayudf.PointUDF {
-	return func(s *arrayudf.Stencil) float64 {
-		sta := meanSquare(zeroGaps(s.Window(-(p.STASamples - 1), 0, 0)))
-		lta := meanSquare(zeroGaps(s.Window(-(p.LTASamples - 1), 0, 0)))
+	udf := p.UDFScratch()
+	return func(s *arrayudf.Stencil) float64 { return udf(s, nil) }
+}
+
+// UDFScratch is UDF with the two windows borrowed from a per-thread
+// scratch arena.
+func (p STALTAParams) UDFScratch() func(s *arrayudf.Stencil, scr *daslib.Scratch) float64 {
+	return func(s *arrayudf.Stencil, scr *daslib.Scratch) float64 {
+		sta := meanSquareWindow(s, scr, p.STASamples)
+		lta := meanSquareWindow(s, scr, p.LTASamples)
 		if lta <= 0 {
 			return 0
 		}
 		return sta / lta
 	}
+}
+
+// meanSquareWindow computes the mean squared amplitude of the trailing
+// n-sample window, skipping NaN gap markers — numerically identical to
+// zeroing them (adding 0.0 is exact) without materializing a cleaned copy.
+func meanSquareWindow(s *arrayudf.Stencil, scr *daslib.Scratch, n int) float64 {
+	w := scr.Float(n)
+	s.WindowInto(w, -(n - 1), 0, 0)
+	var sum float64
+	for _, v := range w {
+		if !math.IsNaN(v) {
+			sum += v * v
+		}
+	}
+	scr.ReleaseFloat(w)
+	return sum / float64(n)
 }
 
 func meanSquare(w []float64) float64 {

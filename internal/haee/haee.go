@@ -19,6 +19,7 @@ import (
 
 	"dassa/internal/arrayudf"
 	"dassa/internal/dasf"
+	"dassa/internal/daslib"
 	"dassa/internal/dass"
 	"dassa/internal/mpi"
 	"dassa/internal/obs"
@@ -96,6 +97,11 @@ type RowsWorkload struct {
 	Prepare func(c *mpi.Comm, v *dass.View) (shared any, bytes int64, tr pfs.Trace)
 	// UDF maps one channel to its output row; it must be thread-safe.
 	UDF func(s *arrayudf.Stencil, shared any) []float64
+	// UDFInto, when non-nil, is preferred over UDF: it writes the channel's
+	// row into the engine-owned dst (length RowLen) and may borrow work
+	// buffers from the per-thread scratch. The engine owns dst, so UDFs
+	// never hand back scratch-owned memory (DESIGN.md §14).
+	UDFInto func(s *arrayudf.Stencil, shared any, dst []float64, scr *daslib.Scratch)
 }
 
 // PointsWorkload is a per-cell analysis (Algorithm 2 shape).
@@ -103,6 +109,9 @@ type PointsWorkload struct {
 	Spec arrayudf.Spec
 	// UDF maps one cell to one value; it must be thread-safe.
 	UDF arrayudf.PointUDF
+	// UDFScratch, when non-nil, is preferred over UDF: the same mapping
+	// with a per-thread scratch arena for its window buffers.
+	UDFScratch func(s *arrayudf.Stencil, scr *daslib.Scratch) float64
 }
 
 // Report summarizes a run: wall-clock per phase (max across ranks), the
@@ -192,6 +201,70 @@ func ApplyRowsMT(team *omp.Team, blk arrayudf.Block, rowLen int, udf func(s *arr
 	return &dasf.Array2D{Channels: own, Samples: rowLen, Data: flat}
 }
 
+// teamScratch checks one scratch arena and one reusable stencil out per
+// worker thread; release returns the arenas to the process pool.
+func teamScratch(team *omp.Team, blk arrayudf.Block) (scratches []*daslib.Scratch, stencils []*arrayudf.Stencil, release func()) {
+	n := team.Threads()
+	scratches = make([]*daslib.Scratch, n)
+	stencils = make([]*arrayudf.Stencil, n)
+	for h := range scratches {
+		scratches[h] = daslib.GetScratch()
+		stencils[h] = blk.Stencil(0, 0)
+	}
+	return scratches, stencils, func() {
+		for _, s := range scratches {
+			daslib.PutScratch(s)
+		}
+	}
+}
+
+// ApplyMTScratch is ApplyMT for scratch-aware point UDFs: the output array
+// is preallocated and each thread writes its cells directly (the static
+// schedule gives disjoint index ranges, so no merge is needed), reusing one
+// stencil and one scratch arena per thread. After the first channel of a
+// run the inner loop performs no allocation.
+func ApplyMTScratch(team *omp.Team, blk arrayudf.Block, spec arrayudf.Spec, nt int, udf func(s *arrayudf.Stencil, scr *daslib.Scratch) float64) *dasf.Array2D {
+	own := blk.OwnedChannels()
+	outT := spec.OutSamples(nt)
+	if own <= 0 {
+		return dasf.NewArray2D(0, outT)
+	}
+	stride := spec.TimeStride
+	if stride <= 0 {
+		stride = 1
+	}
+	out := dasf.NewArray2D(own, outT)
+	scratches, stencils, release := teamScratch(team, blk)
+	defer release()
+	team.ForThread(own*outT, func(i, h int) {
+		st := stencils[h]
+		st.SetPos(i/outT, (i%outT)*stride)
+		out.Data[i] = udf(st, scratches[h])
+	})
+	return out
+}
+
+// ApplyRowsInto is ApplyRowsMT for destination-passing row UDFs: the
+// output array is preallocated, each channel's UDF writes straight into
+// its row, and every thread carries a scratch arena for kernel
+// intermediates. Rows are engine-owned, so nothing scratch-owned escapes a
+// UDF call.
+func ApplyRowsInto(team *omp.Team, blk arrayudf.Block, rowLen int, udf func(s *arrayudf.Stencil, dst []float64, scr *daslib.Scratch)) *dasf.Array2D {
+	own := blk.OwnedChannels()
+	if own <= 0 {
+		return dasf.NewArray2D(0, rowLen)
+	}
+	out := dasf.NewArray2D(own, rowLen)
+	scratches, stencils, release := teamScratch(team, blk)
+	defer release()
+	team.ForThread(own, func(ch, h int) {
+		st := stencils[h]
+		st.SetPos(ch, 0)
+		udf(st, out.Row(ch), scratches[h])
+	})
+	return out
+}
+
 // RunRows executes a RowsWorkload over the view. If outPath is non-empty,
 // rank 0 writes the assembled result as a DASF file (the single-big-array
 // write both modes share in Figure 8).
@@ -199,7 +272,7 @@ func (e *Engine) RunRows(v *dass.View, w RowsWorkload, outPath string) (Report, 
 	if err := e.cfg.validate(); err != nil {
 		return Report{}, err
 	}
-	if w.UDF == nil || w.RowLen <= 0 {
+	if (w.UDF == nil && w.UDFInto == nil) || w.RowLen <= 0 {
 		return Report{}, fmt.Errorf("haee: RowsWorkload needs a UDF and positive RowLen")
 	}
 	return e.run(v, w.Spec, outPath, func(c *mpi.Comm, team *omp.Team, blk arrayudf.Block) (*dasf.Array2D, int64, pfs.Trace) {
@@ -209,15 +282,25 @@ func (e *Engine) RunRows(v *dass.View, w RowsWorkload, outPath string) (Report, 
 		if w.Prepare != nil {
 			shared, sharedBytes, prepTr = w.Prepare(c, v)
 		}
-		out := ApplyRowsMT(team, blk, w.RowLen, func(s *arrayudf.Stencil) []float64 {
-			// One UDF call is one channel — the row engine's tile. The
-			// panic unwinds through the omp team to the rank, and through
-			// mpi.Run to the caller as the context's error.
-			if err := v.Context().Err(); err != nil {
-				panic(fmt.Errorf("haee: rows compute: %w", err))
-			}
-			return w.UDF(s, shared)
-		})
+		// One UDF call is one channel — the row engine's tile. The
+		// cancellation panic unwinds through the omp team to the rank, and
+		// through mpi.Run to the caller as the context's error.
+		var out *dasf.Array2D
+		if w.UDFInto != nil {
+			out = ApplyRowsInto(team, blk, w.RowLen, func(s *arrayudf.Stencil, dst []float64, scr *daslib.Scratch) {
+				if err := v.Context().Err(); err != nil {
+					panic(fmt.Errorf("haee: rows compute: %w", err))
+				}
+				w.UDFInto(s, shared, dst, scr)
+			})
+		} else {
+			out = ApplyRowsMT(team, blk, w.RowLen, func(s *arrayudf.Stencil) []float64 {
+				if err := v.Context().Err(); err != nil {
+					panic(fmt.Errorf("haee: rows compute: %w", err))
+				}
+				return w.UDF(s, shared)
+			})
+		}
 		return out, sharedBytes, prepTr
 	})
 }
@@ -227,15 +310,26 @@ func (e *Engine) RunPoints(v *dass.View, w PointsWorkload, outPath string) (Repo
 	if err := e.cfg.validate(); err != nil {
 		return Report{}, err
 	}
-	if w.UDF == nil {
+	if w.UDF == nil && w.UDFScratch == nil {
 		return Report{}, fmt.Errorf("haee: PointsWorkload needs a UDF")
 	}
 	_, nt := v.Shape()
 	return e.run(v, w.Spec, outPath, func(c *mpi.Comm, team *omp.Team, blk arrayudf.Block) (*dasf.Array2D, int64, pfs.Trace) {
+		// Check cancellation once per channel row (the first strided cell),
+		// not per cell — cancellation latency stays one row, the hot loop
+		// stays hot.
+		if w.UDFScratch != nil {
+			udf := func(s *arrayudf.Stencil, scr *daslib.Scratch) float64 {
+				if s.T() == 0 {
+					if err := v.Context().Err(); err != nil {
+						panic(fmt.Errorf("haee: points compute: %w", err))
+					}
+				}
+				return w.UDFScratch(s, scr)
+			}
+			return ApplyMTScratch(team, blk, w.Spec, nt, udf), 0, pfs.Trace{}
+		}
 		udf := func(s *arrayudf.Stencil) float64 {
-			// Check once per channel row (the first strided cell), not per
-			// cell — cancellation latency stays one row, the hot loop stays
-			// hot.
 			if s.T() == 0 {
 				if err := v.Context().Err(); err != nil {
 					panic(fmt.Errorf("haee: points compute: %w", err))
